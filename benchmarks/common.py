@@ -1,0 +1,51 @@
+"""Shared configuration for the benchmark harness.
+
+Every table and figure of the paper's evaluation (§9) has one bench module;
+they share the scenario definitions and scale settings here. By default the
+benches run a reduced operating point (shorter generation, smaller batch
+group, three batch sizes) so the whole harness completes in minutes; set
+``REPRO_FULL=1`` for the paper's full scale (batch sizes 4-64, output
+length 32, n = 15 / n = 10 for Mixtral-8x22B on Env1).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.hardware.spec import ENV1, ENV2, HardwareSpec
+from repro.model.config import MIXTRAL_8X7B, MIXTRAL_8X22B, ModelConfig
+from repro.routing.workload import Workload
+from repro.scenario import Scenario
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+BATCH_SIZES = [4, 8, 16, 32, 64] if FULL else [4, 16, 64]
+GEN_LEN = 32 if FULL else 8
+PROMPT_LEN = 512
+SEED = 1
+
+
+@dataclass(frozen=True)
+class EvalScenario:
+    """One of the paper's three evaluation columns (Figure 10)."""
+
+    key: str
+    model: ModelConfig
+    hardware: HardwareSpec
+    n: int  # batch-group size (paper: 15, 10 for 8x22B/Env1)
+
+    def scenario(self, batch_size: int, *, gen_len: int | None = None) -> Scenario:
+        workload = Workload(
+            batch_size, self.n, PROMPT_LEN, gen_len if gen_len else GEN_LEN
+        )
+        return Scenario(self.model, self.hardware, workload, seed=SEED)
+
+
+SCENARIOS = [
+    EvalScenario("8x7b-env1", MIXTRAL_8X7B, ENV1, 15 if FULL else 6),
+    EvalScenario("8x22b-env1", MIXTRAL_8X22B, ENV1, 10 if FULL else 5),
+    EvalScenario("8x22b-env2", MIXTRAL_8X22B, ENV2, 15 if FULL else 6),
+]
+
+SCENARIO_BY_KEY = {s.key: s for s in SCENARIOS}

@@ -1,0 +1,79 @@
+"""Benchmark harness plumbing: result caching and report emission.
+
+Each bench computes the rows/series of one paper table or figure, registers
+the rendered text via :func:`record_report`, and asserts the qualitative
+shape. Reports are written to ``benchmarks/results/*.txt`` and echoed in
+the terminal summary so they land in ``bench_output.txt``.
+
+The end-to-end grid (all systems x batch sizes x scenarios) is computed
+once per session and shared by the Figure 10 / Figure 11 benches.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import BATCH_SIZES, SCENARIOS  # noqa: E402
+
+from repro.analysis.reporting import ResultGrid  # noqa: E402
+from repro.baselines import ALL_BASELINES  # noqa: E402
+from repro.core.engine import KlotskiOptions, KlotskiSystem  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record_report(name: str, text: str) -> None:
+    """Persist a rendered table/figure and queue it for terminal output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _REPORTS.append((name, text))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables & figures")
+    for name, text in _REPORTS:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)
+
+
+def all_systems():
+    """Klotski, Klotski(q), and the five paper baselines."""
+    return [
+        KlotskiSystem(),
+        KlotskiSystem(KlotskiOptions(quantize=True)),
+        *[cls() for cls in ALL_BASELINES],
+    ]
+
+
+@pytest.fixture(scope="session")
+def e2e_results():
+    """(scenario key -> throughput grid, latency grid) for every system.
+
+    This is the Figure 10 data; Figure 11 reuses the latency side.
+    """
+    throughput: dict[str, ResultGrid] = {}
+    latency: dict[str, ResultGrid] = {}
+    for eval_scenario in SCENARIOS:
+        tp = ResultGrid(f"Throughput (tok/s) — {eval_scenario.key}", "batch size")
+        lat = ResultGrid(f"Latency (s) — {eval_scenario.key}", "batch size")
+        for batch_size in BATCH_SIZES:
+            scenario = eval_scenario.scenario(batch_size)
+            for system in all_systems():
+                result = system.run_safe(scenario)
+                if result.oom:
+                    tp.add_oom(system.name, batch_size)
+                    lat.add_oom(system.name, batch_size)
+                else:
+                    tp.add(system.name, batch_size, result.throughput)
+                    lat.add(system.name, batch_size, result.latency_s)
+        throughput[eval_scenario.key] = tp
+        latency[eval_scenario.key] = lat
+    return throughput, latency

@@ -1,0 +1,128 @@
+"""Ablations of Klotski's design choices beyond Table 3.
+
+Covers the decisions DESIGN.md calls out:
+
+* expert ordering policy (hot-first vs batch-major),
+* correlation path length l (paper §8 picks l = 1),
+* prefetch width K (paper: K = the gate's top-k),
+* placement policy (spare-VRAM residency vs complete offloading, pinned
+  memory on/off).
+"""
+
+import pytest
+
+from common import SCENARIO_BY_KEY
+
+from conftest import record_report
+
+from repro.core.engine import KlotskiOptions, KlotskiSystem
+from repro.core.pipeline import PipelineFeatures
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return SCENARIO_BY_KEY["8x7b-env1"].scenario(16)
+
+
+def throughput(scenario, options=None, name="variant", n=6):
+    system = KlotskiSystem(options or KlotskiOptions(), name=name)
+    wl = scenario.workload.with_batches(n)
+    return system.run(scenario.with_workload(wl)).metrics.throughput
+
+
+class TestOrderingPolicy:
+    def test_hot_first_beats_batch_major(self, benchmark, scenario):
+        def run():
+            hot_first = throughput(scenario)
+            batch_major = throughput(
+                scenario, KlotskiOptions(features=PipelineFeatures(adjust_order=False))
+            )
+            return hot_first, batch_major
+
+        hot_first, batch_major = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_report(
+            "ablation_ordering",
+            f"hot-first expert ordering: {hot_first:.2f} tok/s\n"
+            f"batch-major ordering:      {batch_major:.2f} tok/s",
+        )
+        assert hot_first > batch_major
+
+
+class TestCorrelationDepth:
+    def test_path_length_sweep(self, benchmark, scenario):
+        def run():
+            return {
+                l: throughput(
+                    scenario, KlotskiOptions(path_length=l), name=f"l={l}"
+                )
+                for l in (1, 2)
+            }
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_report(
+            "ablation_correlation_depth",
+            "\n".join(f"path length l={l}: {v:.2f} tok/s" for l, v in results.items()),
+        )
+        # Paper §8: l = 1 suffices — deeper paths do not meaningfully help.
+        assert results[2] < results[1] * 1.10
+        assert results[2] > results[1] * 0.80
+
+
+class TestPrefetchWidth:
+    def test_k_sweep(self, benchmark, scenario):
+        def run():
+            return {
+                k: throughput(
+                    scenario, KlotskiOptions(prefetch_k=k), name=f"K={k}"
+                )
+                for k in (1, 2, 4)
+            }
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_report(
+            "ablation_prefetch_k",
+            "\n".join(f"prefetch K={k}: {v:.2f} tok/s" for k, v in results.items()),
+        )
+        # K = top-k (2 for Mixtral) should be within a few percent of the
+        # best choice (the paper's default).
+        best = max(results.values())
+        assert results[2] > 0.9 * best
+
+
+class TestPlacementPolicy:
+    def test_spare_vram_residency_helps(self, benchmark, scenario):
+        def run():
+            further = throughput(scenario)
+            complete = throughput(
+                scenario, KlotskiOptions(use_spare_vram=False), name="complete"
+            )
+            return further, complete
+
+        further, complete = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_report(
+            "ablation_placement",
+            f"further-use (spare VRAM residency): {further:.2f} tok/s\n"
+            f"complete offloading:                {complete:.2f} tok/s",
+        )
+        assert further >= complete
+
+    def test_pinned_memory_helps(self, benchmark, scenario):
+        from dataclasses import replace
+
+        def run():
+            pinned = throughput(scenario, KlotskiOptions(use_spare_vram=False))
+            slow_hw = replace(scenario.hardware, pinned_memory_speedup=1.0)
+            unpinned = throughput(
+                replace(scenario, hardware=slow_hw),
+                KlotskiOptions(use_spare_vram=False),
+                name="unpinned",
+            )
+            return pinned, unpinned
+
+        pinned, unpinned = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_report(
+            "ablation_pinned_memory",
+            f"pinned host memory:   {pinned:.2f} tok/s\n"
+            f"pageable host memory: {unpinned:.2f} tok/s",
+        )
+        assert pinned > unpinned

@@ -1,0 +1,97 @@
+"""Figure 10: end-to-end throughput of Klotski vs the five baselines.
+
+Regenerates the three panels (Mixtral-8x7B/Env1, Mixtral-8x22B/Env1,
+Mixtral-8x22B/Env2) across batch sizes and checks the paper's qualitative
+claims: Klotski wins everywhere, the expert-only-offloading systems OOM at
+large batches on Mixtral-8x22B/Env1, and the ranking of baselines holds.
+"""
+
+import math
+
+import pytest
+
+from common import BATCH_SIZES
+
+from conftest import record_report
+
+
+@pytest.fixture(scope="module")
+def grids(e2e_results):
+    return e2e_results[0]
+
+
+def test_fig10_throughput_grids(benchmark, grids):
+    """Render all three panels (the expensive grid is session-cached)."""
+    text = benchmark.pedantic(
+        lambda: "\n\n".join(grid.render() for grid in grids.values()),
+        rounds=1,
+        iterations=1,
+    )
+    record_report("fig10_end_to_end_throughput", text)
+    assert "klotski" in text
+
+
+def test_klotski_wins_every_cell(benchmark, grids):
+    def check():
+        failures = []
+        for key, grid in grids.items():
+            for bs in BATCH_SIZES:
+                k = grid.get("klotski", bs)
+                for system in grid.systems():
+                    if system.startswith("klotski"):
+                        continue
+                    v = grid.get(system, bs)
+                    if v == v and not k >= v * 0.99:
+                        failures.append((key, bs, system, v, k))
+        return failures
+
+    failures = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert not failures, failures
+
+
+def test_speedup_factors_reported(benchmark, grids):
+    """Paper: up to 85.12x / 15.45x / 2.23x / 19.06x / 9.53x vs the five
+    baselines. We assert the ordering of the gaps (Accelerate worst-hit,
+    FlexGen closest), not the absolute factors."""
+
+    def factors():
+        best = {}
+        for grid in grids.values():
+            for baseline in ("accelerate", "fastgen", "flexgen", "moe-infinity",
+                             "fiddler"):
+                s = grid.speedup("klotski", baseline)
+                best[baseline] = max(best.get(baseline, 0.0), s)
+        return best
+
+    best = benchmark.pedantic(factors, rounds=1, iterations=1)
+    lines = [f"max speedup of klotski over {k}: {v:.2f}x" for k, v in best.items()]
+    record_report("fig10_speedup_factors", "\n".join(lines))
+    assert best["accelerate"] > best["flexgen"]
+    assert best["flexgen"] > 1.0
+    assert all(v > 1.0 for v in best.values())
+
+
+def test_expert_offloaders_oom_on_8x22b_env1(benchmark, grids):
+    """§9.2: Fiddler / MoE-Infinity cannot run large batches on the 3090."""
+
+    def oom_cells():
+        grid = grids["8x22b-env1"]
+        return [
+            (system, max(BATCH_SIZES))
+            for system in ("moe-infinity", "fiddler")
+            if math.isnan(grid.get(system, max(BATCH_SIZES)))
+        ]
+
+    cells = benchmark.pedantic(oom_cells, rounds=1, iterations=1)
+    assert len(cells) == 2
+
+
+def test_klotski_runs_every_configuration(benchmark, grids):
+    def check():
+        return all(
+            grid.get("klotski", bs) == grid.get("klotski", bs)
+            for grid in grids.values()
+            for bs in BATCH_SIZES
+        )
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,113 @@
+"""Figure 5 (§3.2): expert popularity heatmaps — hot experts exist.
+
+Regenerates the heatmap data for Mixtral-8x7B-shaped routing and the
+decoder-only switch-base-8 / switch-base-16, both from the synthetic
+routing substrate (full scale) and from the real numpy model (scaled),
+and checks the paper's observations: a few experts take most tokens,
+top-K coverage is high (e.g. 53.7 % for top-2 at one Mixtral layer), and
+the hot set varies per layer.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_report
+
+from repro.model.config import MIXTRAL_8X7B, SWITCH_BASE_8, SWITCH_BASE_16
+from repro.model.tokenizer import synthetic_corpus
+from repro.model.transformer import MoETransformer
+from repro.routing.synthetic import RoutingModelConfig, SyntheticRouter
+from repro.routing.trace import ExpertTrace, StepTrace
+
+MODELS = [MIXTRAL_8X7B, SWITCH_BASE_8, SWITCH_BASE_16]
+
+
+def sample_trace(model, tokens=2048, steps=4, seed=2) -> ExpertTrace:
+    router = SyntheticRouter(
+        RoutingModelConfig(
+            num_layers=model.num_layers,
+            num_experts=model.num_experts,
+            top_k=model.top_k,
+            seed=seed,
+        )
+    )
+    trace = ExpertTrace(model.num_experts)
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        step = StepTrace()
+        for a in router.sample_step(tokens, rng):
+            step.append(a)
+        trace.append(step)
+    return trace
+
+
+def ascii_heatmap(popularity: np.ndarray, name: str) -> str:
+    shades = " .:-=+*#%@"
+    peak = popularity.max() + 1e-12
+    lines = [f"Expert popularity — {name} (rows = experts, cols = layers)"]
+    for expert in range(popularity.shape[1]):
+        cells = "".join(
+            shades[min(int(v / peak * 9), 9)] for v in popularity[:, expert]
+        )
+        lines.append(f"e{expert:<3}|{cells}|")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {m.name: sample_trace(m) for m in MODELS}
+
+
+def test_fig5_heatmaps(benchmark, traces):
+    def render():
+        return "\n\n".join(
+            ascii_heatmap(traces[m.name].popularity()[:, : m.num_experts].T.T, m.name)
+            for m in MODELS
+        )
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    record_report("fig5_expert_popularity", text)
+    assert "mixtral-8x7b" in text
+
+
+def test_topk_coverage_majority(benchmark, traces):
+    """K (= top-k) experts cover the majority of tokens in most layers."""
+
+    def coverages():
+        return {
+            m.name: traces[m.name].topk_coverage(max(2, m.top_k)).mean()
+            for m in MODELS
+        }
+
+    cov = benchmark.pedantic(coverages, rounds=1, iterations=1)
+    record_report(
+        "fig5_topk_coverage",
+        "\n".join(f"{k}: mean top-K coverage {v:.1%}" for k, v in cov.items()),
+    )
+    assert cov["mixtral-8x7b"] > 0.4  # paper: 53.7 % at layer 14
+    assert all(v > 0.25 for v in cov.values())
+
+
+def test_hot_sets_vary_by_layer(benchmark, traces):
+    def distinct_hot():
+        return {
+            name: len(set(trace.popularity().argmax(axis=1).tolist()))
+            for name, trace in traces.items()
+        }
+
+    hot = benchmark.pedantic(distinct_hot, rounds=1, iterations=1)
+    assert all(v > 1 for v in hot.values())
+
+
+def test_real_model_shows_same_skew(benchmark):
+    """The scaled numpy Mixtral reproduces the skew from actual gating."""
+
+    def run():
+        cfg = MIXTRAL_8X7B.scaled(1 / 64, name="mixtral-mini")
+        model = MoETransformer(cfg, seed=0, router_skew=1.2)
+        prompts = synthetic_corpus(4, 12, cfg.vocab_size, seed=1)
+        result = model.generate(prompts, 4)
+        return result.trace.topk_coverage(2).mean()
+
+    coverage = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert coverage > 0.4

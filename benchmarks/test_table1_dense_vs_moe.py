@@ -1,0 +1,133 @@
+"""Table 1 (§3.1): the multi-batch I/O-overlap strategy helps dense models
+more than MoE models.
+
+The paper applies the dense-model overlap strategy (share weights across a
+batch group, prefetch the next layer) to OPT-1.3B / OPT-6.7B and to
+decoder-only switch-base-16 / switch-base-128 at batch size 4, sequence 512,
+and finds ~200-270 % improvements for dense vs ~110-190 % for MoE.
+"""
+
+import pytest
+
+from common import GEN_LEN, SEED
+
+from conftest import record_report
+
+from repro.core.engine import KlotskiOptions, KlotskiSystem
+from repro.core.pipeline import PipelineFeatures
+from repro.hardware.spec import ENV1
+from repro.model.config import OPT_1_3B, OPT_6_7B, SWITCH_BASE_16, SWITCH_BASE_128
+from repro.routing.workload import Workload
+from repro.scenario import Scenario
+
+MODELS = [OPT_1_3B, OPT_6_7B, SWITCH_BASE_16, SWITCH_BASE_128]
+N_BATCHES = 6
+
+
+def run_pair(model):
+    """(original, with-strategy) throughput for one model.
+
+    The paper's Table 1 measures these small models *with offloading
+    active* (that is the point of the study), so residency in spare VRAM
+    is disabled: weights always stream from DRAM.
+    """
+    workload = Workload(4, N_BATCHES, 512, GEN_LEN)
+    scenario = Scenario(model, ENV1, workload, seed=SEED)
+    original = KlotskiSystem(
+        KlotskiOptions(
+            features=PipelineFeatures.simple_pipeline(),
+            warmup_steps=0,
+            use_spare_vram=False,
+        ),
+        name="original",
+    )
+    original.sequential = True  # one batch at a time, like plain offloading
+    strategy = KlotskiSystem(
+        KlotskiOptions(
+            features=PipelineFeatures(hot_prefetch=False, adjust_order=False),
+            warmup_steps=0,
+            use_spare_vram=False,
+        ),
+        name="strategy",
+    )
+    return original.run(scenario).metrics, strategy.run(scenario).metrics
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return {model.name: run_pair(model) for model in MODELS}
+
+
+def test_table1_rendered(benchmark, table1):
+    def render():
+        lines = [
+            f"{'model':<18} {'original':>10} {'+strategy':>10} {'improvement':>12}"
+            f" {'strat GPU util':>15}"
+        ]
+        for name, (orig, strat) in table1.items():
+            lines.append(
+                f"{name:<18} {orig.throughput:>10.2f} {strat.throughput:>10.2f} "
+                f"{(strat.throughput / orig.throughput - 1) * 100:>11.1f}%"
+                f" {strat.gpu_utilization:>14.0%}"
+            )
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    record_report("table1_dense_vs_moe_overlap", text)
+    assert "opt-1.3b" in text
+
+
+def test_strategy_always_improves(benchmark, table1):
+    def improvements():
+        return {
+            name: strat.throughput / orig.throughput
+            for name, (orig, strat) in table1.items()
+        }
+
+    ratios = benchmark.pedantic(improvements, rounds=1, iterations=1)
+    assert all(r > 1.3 for r in ratios.values()), ratios
+
+
+def test_dense_gains_exceed_moe_gains_small_pair(benchmark, table1):
+    """Table 1 pairs models by size; for the ~2.5 GB pair the dense model
+    gains more from the overlap strategy than the MoE model."""
+
+    def gap():
+        dense = table1["opt-1.3b"]
+        moe = table1["switch-base-16"]
+        return (
+            dense[1].throughput / dense[0].throughput,
+            moe[1].throughput / moe[0].throughput,
+        )
+
+    dense_ratio, moe_ratio = benchmark.pedantic(gap, rounds=1, iterations=1)
+    assert dense_ratio > moe_ratio
+
+
+def test_dense_overlaps_better_than_moe(benchmark, table1):
+    """The mechanism behind Table 1 (§3.1): with the strategy applied, the
+    dense FFN's I/O is covered by compute (GPU stays busy), while the MoE
+    layer's many-expert I/O cannot be covered — the GPU keeps stalling."""
+
+    def utils():
+        return {
+            name: strat.gpu_utilization for name, (orig, strat) in table1.items()
+        }
+
+    util = benchmark.pedantic(utils, rounds=1, iterations=1)
+    # The small pair may both saturate the GPU outright; the ~13 GB pair
+    # separates cleanly.
+    assert util["opt-1.3b"] >= util["switch-base-16"] - 0.01
+    assert util["opt-6.7b"] > util["switch-base-128"]
+
+
+def test_bigger_models_slower(benchmark, table1):
+    def check():
+        assert table1["opt-1.3b"][0].throughput > table1["opt-6.7b"][0].throughput
+        assert (
+            table1["switch-base-16"][0].throughput
+            > table1["switch-base-128"][0].throughput
+        )
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

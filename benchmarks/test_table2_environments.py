@@ -1,0 +1,37 @@
+"""Table 2 (§9.1): the two hardware environments, as encoded in the specs."""
+
+from conftest import record_report
+
+from repro.hardware.spec import ENV1, ENV2, GB, GiB
+
+
+def render_table2() -> str:
+    rows = [f"{'':<12} {'Environment 1':>22} {'Environment 2':>22}"]
+    rows.append(
+        f"{'GPU':<12} {ENV1.gpu.name + f' {ENV1.vram_bytes // GiB} GB':>22}"
+        f" {ENV2.gpu.name + f' {ENV2.vram_bytes // GiB} GB':>22}"
+    )
+    rows.append(
+        f"{'CPU DRAM':<12} {f'{ENV1.dram_bytes // GiB} GB':>22}"
+        f" {f'{ENV2.dram_bytes // GiB} GB':>22}"
+    )
+    rows.append(
+        f"{'Disk read':<12} {f'{ENV1.disk_link.bandwidth_bytes_per_s / GB:.0f} GB/s':>22}"
+        f" {f'{ENV2.disk_link.bandwidth_bytes_per_s / GB:.0f} GB/s':>22}"
+    )
+    rows.append(
+        f"{'PCIe H2D':<12} {f'{ENV1.pcie_h2d.bandwidth_bytes_per_s / GB:.0f} GB/s eff.':>22}"
+        f" {f'{ENV2.pcie_h2d.bandwidth_bytes_per_s / GB:.0f} GB/s eff.':>22}"
+    )
+    return "\n".join(rows)
+
+
+def test_table2_environments(benchmark):
+    text = benchmark.pedantic(render_table2, rounds=1, iterations=1)
+    record_report("table2_environments", text)
+    # Table 2's fixed facts.
+    assert ENV1.vram_bytes == 24 * GiB
+    assert ENV2.vram_bytes == 80 * GiB
+    assert ENV1.dram_bytes == 256 * GiB
+    assert ENV2.dram_bytes == 800 * GiB
+    assert ENV1.disk_link.bandwidth_bytes_per_s == 1 * GB

@@ -1,0 +1,69 @@
+"""Offline capacity planning across models and machines.
+
+Uses the constraint-sensitive planner and adaptive tensor placement to
+answer deployment questions before running anything: what batch-group size
+``n`` does each (model, machine, batch size) need, where do the tensors
+live, and does the expert-only-offloading approach of MoE-Infinity/Fiddler
+even fit?
+
+Usage::
+
+    python examples/capacity_planner.py
+"""
+
+from repro import KlotskiEngine, Scenario, paper_workload
+from repro.baselines.placement import expert_offload_placement
+from repro.errors import OutOfMemoryError
+from repro.hardware.spec import ENV1, ENV2
+from repro.model.config import MIXTRAL_8X7B, MIXTRAL_8X22B
+from repro.model.tensors import TensorInventory
+
+GiB = 1 << 30
+
+
+def main() -> None:
+    scenarios = [
+        (MIXTRAL_8X7B, ENV1),
+        (MIXTRAL_8X22B, ENV1),
+        (MIXTRAL_8X22B, ENV2),
+    ]
+    print(f"{'model':<16} {'machine':<14} {'bs':>4} {'planned n':>9}  binding constraint")
+    for model, hw in scenarios:
+        for batch_size in (4, 16, 64):
+            scenario = Scenario(model, hw, paper_workload(batch_size, 1))
+            plan = KlotskiEngine(scenario).plan()
+            marker = "" if plan.feasible else " (capped)"
+            print(
+                f"{model.name:<16} {hw.name:<14} {batch_size:>4} {plan.n:>9}"
+                f"  {plan.binding_constraint}{marker}"
+            )
+
+    print("\nAdaptive placement summary (batch size 16, planned n):")
+    for model, hw in scenarios:
+        scenario = Scenario(model, hw, paper_workload(16, 1))
+        engine = KlotskiEngine(scenario)
+        result = engine.run(n=min(engine.plan().n, 8))
+        placement, inv = result.placement, TensorInventory(model)
+        by_level = {
+            level: placement.bytes_at(inv, level) / GiB
+            for level in ("vram", "dram", "disk")
+        }
+        print(
+            f"  {model.name:<16} on {hw.name:<14} "
+            f"VRAM {by_level['vram']:6.1f} GiB | DRAM {by_level['dram']:6.1f} GiB | "
+            f"disk {by_level['disk']:6.1f} GiB | KV in {placement.kv_level}"
+        )
+
+    print("\nExpert-only offloading feasibility (MoE-Infinity/Fiddler style):")
+    for batch_size in (8, 16, 32, 64):
+        scenario = Scenario(MIXTRAL_8X22B, ENV1, paper_workload(batch_size, 1))
+        try:
+            expert_offload_placement(scenario, scenario.workload)
+            verdict = "fits"
+        except OutOfMemoryError as exc:
+            verdict = f"OOM ({exc.requested / GiB:.0f} GiB needed)"
+        print(f"  mixtral-8x22b on env1, batch {batch_size:>3}: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

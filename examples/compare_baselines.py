@@ -1,0 +1,60 @@
+"""Compare Klotski against the paper's five baselines on one scenario.
+
+Reproduces a single column of Figure 10: all systems run the same workload
+on the same simulated machine with identical routing statistics; OOM
+results are reported the way the paper reports baseline OOMs at large
+batch sizes.
+
+Usage::
+
+    python examples/compare_baselines.py [batch_size] [num_batches]
+"""
+
+import sys
+
+from repro import KlotskiOptions, KlotskiSystem, Scenario, Workload
+from repro.analysis.plots import bar_chart
+from repro.baselines import ALL_BASELINES
+from repro.hardware.spec import ENV1
+from repro.model.config import MIXTRAL_8X7B
+
+
+def main() -> None:
+    batch_size = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    num_batches = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+    workload = Workload(batch_size, num_batches, prompt_len=512, gen_len=8)
+    scenario = Scenario(MIXTRAL_8X7B, ENV1, workload, seed=0)
+    print(
+        f"Mixtral-8x7B on {ENV1.name}: batch size {batch_size}, "
+        f"n = {num_batches}, prompt 512, output {workload.gen_len}\n"
+    )
+
+    systems = [
+        KlotskiSystem(),
+        KlotskiSystem(KlotskiOptions(quantize=True)),
+        *[cls() for cls in ALL_BASELINES],
+    ]
+    throughputs: dict[str, float] = {}
+    for system in systems:
+        result = system.run_safe(scenario)
+        if result.oom:
+            print(f"{system.name:<20} OOM ({result.oom_reason})")
+            continue
+        throughputs[system.name] = result.throughput
+        print(
+            f"{system.name:<20} {result.throughput:7.2f} tok/s   "
+            f"latency {result.latency_s:8.1f} s   "
+            f"GPU util {result.metrics.gpu_utilization:5.0%}"
+        )
+
+    print("\n" + bar_chart(throughputs, unit=" tok/s"))
+    baseline = min(throughputs, key=throughputs.get)
+    best = max(throughputs, key=throughputs.get)
+    print(
+        f"\n{best} outperforms {baseline} by "
+        f"{throughputs[best] / throughputs[baseline]:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Visualize the pipelines the paper draws in Figures 1 and 15.
+
+Renders ASCII Gantt views of one decode step for (a) the simple
+single-batch overlap strategy and (b) Klotski's expert-aware multi-batch
+pipeline, plus the bubble decomposition of each full run.
+
+Usage::
+
+    python examples/pipeline_timeline.py
+"""
+
+from repro import KlotskiOptions, KlotskiSystem, Scenario, Workload
+from repro.analysis.bubbles import analyze_bubbles
+from repro.analysis.plots import render_timeline
+from repro.core.pipeline import PipelineFeatures
+from repro.hardware.spec import ENV1
+from repro.model.config import MIXTRAL_8X7B
+from repro.runtime.schedule import D2H, GPU, H2D, H2D_OD
+
+
+def window_of_step(result, step: int) -> tuple[float, float]:
+    """Simulated time window of one generation step."""
+    timeline = result.timeline
+    end = timeline.executed[result.build.step_last_op[step]].end
+    start = timeline.executed[result.build.step_last_op[step - 1]].end
+    return start, end
+
+
+def main() -> None:
+    workload = Workload(batch_size=64, num_batches=10, prompt_len=512, gen_len=4)
+    scenario = Scenario(MIXTRAL_8X7B, ENV1, workload, seed=0)
+
+    simple = KlotskiSystem(
+        KlotskiOptions(features=PipelineFeatures.simple_pipeline(), warmup_steps=0),
+        name="simple-overlap",
+    ).run(scenario.with_workload(workload.with_batches(1)))
+    klotski = KlotskiSystem().run(scenario)
+
+    resources = (GPU, H2D, H2D_OD, D2H)
+    print("(a) simple overlap, one decode step (Figure 15a):")
+    start, end = window_of_step(simple, 2)
+    print(render_timeline(simple.timeline, start=start, end=end, resources=resources))
+    print(f"    step time ~ {(end - start) * 1e3:.0f} ms for 1 batch")
+
+    print("\n(b) Klotski expert-aware multi-batch pipeline (Figure 15b):")
+    start, end = window_of_step(klotski, 2)
+    print(render_timeline(klotski.timeline, start=start, end=end, resources=resources))
+    print(f"    step time ~ {(end - start) * 1e3:.0f} ms for {workload.num_batches} batches")
+
+    print("\nlegend: a=attention g=gate e=expert t=weight transfer k=KV traffic")
+    for name, result in (("simple", simple), ("klotski", klotski)):
+        print(f"{name:>8}: {analyze_bubbles(result.timeline).summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: plan and run Klotski on Mixtral-8x7B in Environment 1.
+
+Runs the full offline + online flow of the paper's Figure 6: adaptive
+tensor placement, constraint-sensitive planning of the batch-group size
+``n``, correlation-table warm-up, and the expert-aware multi-batch pipeline
+on the simulated RTX 3090 machine.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import KlotskiEngine, Scenario, Workload
+from repro.analysis.bubbles import analyze_bubbles
+from repro.hardware.spec import ENV1
+from repro.model.config import MIXTRAL_8X7B
+
+
+def main() -> None:
+    # The paper's standard workload shape, shortened for a quick demo.
+    workload = Workload(batch_size=16, num_batches=1, prompt_len=512, gen_len=8)
+    scenario = Scenario(MIXTRAL_8X7B, ENV1, workload, seed=0)
+
+    engine = KlotskiEngine(scenario)
+
+    print("=== Offline phase: constraint-sensitive I/O-compute planning ===")
+    plan = engine.plan()
+    print(f"planned batch-group size n = {plan.n} (feasible={plan.feasible})")
+    print(f"binding constraint: {plan.binding_constraint}")
+    for name, margin in plan.margins.items():
+        print(f"  {name:<28} margin {margin * 1e3:+8.2f} ms")
+
+    print("\n=== Online phase: expert-aware multi-batch pipeline ===")
+    result = engine.run()
+    metrics = result.metrics
+    print(metrics.summary())
+    print(f"prefill {metrics.prefill_time_s:.1f} s, decode {metrics.decode_time_s:.1f} s")
+
+    placement = result.placement
+    print(f"\nplacement: KV cache in {placement.kv_level}, pinned={placement.pinned}")
+    for note in placement.notes:
+        print(f"  note: {note}")
+
+    report = analyze_bubbles(result.timeline)
+    print(f"\npipeline bubbles: {report.summary()}")
+
+    stats = result.prefetcher.stats
+    print(
+        f"prefetch: hot accuracy {stats.hot_accuracy().mean():.1%}, "
+        f"participation {stats.participation_rate().mean():.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

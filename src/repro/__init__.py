@@ -1,0 +1,35 @@
+"""Klotski reproduction: expert-aware multi-batch MoE inference pipeline.
+
+Reproduction of *Klotski: Efficient Mixture-of-Expert Inference via
+Expert-Aware Multi-Batch Pipeline* (ASPLOS 2025) as a self-contained Python
+library: a numpy MoE model substrate, a discrete-event hardware simulator,
+the Klotski scheduler (planner + prefetcher + placement + pipeline), and
+re-implementations of the paper's five baselines.
+
+Quickstart::
+
+    from repro import KlotskiEngine, Scenario, paper_workload
+    from repro.hardware import ENV1
+    from repro.model import MIXTRAL_8X7B
+
+    scenario = Scenario(MIXTRAL_8X7B, ENV1, paper_workload(batch_size=16, num_batches=8))
+    engine = KlotskiEngine(scenario)
+    print(engine.plan())                 # constraint-sensitive n
+    print(engine.run().metrics.summary())
+"""
+
+from repro.core.engine import KlotskiEngine, KlotskiOptions, KlotskiSystem
+from repro.routing.workload import Workload, paper_workload
+from repro.scenario import Scenario
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "KlotskiEngine",
+    "KlotskiOptions",
+    "KlotskiSystem",
+    "Workload",
+    "paper_workload",
+    "Scenario",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Timeline analysis: bubbles, plots, and result reporting."""
+
+from repro.analysis.bubbles import BubbleReport, analyze_bubbles, block_time
+from repro.analysis.plots import bar_chart, render_timeline, series_table
+from repro.analysis.reporting import ResultGrid, improvement_factor
+
+__all__ = [
+    "BubbleReport",
+    "analyze_bubbles",
+    "block_time",
+    "bar_chart",
+    "render_timeline",
+    "series_table",
+    "ResultGrid",
+    "improvement_factor",
+]

@@ -1,0 +1,80 @@
+"""Bubble analysis: decomposing GPU idle time (paper §1, Figure 15).
+
+*Inter-layer* bubbles are stalls before attention (or other cross-layer)
+computation — the GPU waiting for the next layer's weights. *Intra-layer*
+bubbles are stalls inside the MoE layer — waiting for expert (or gate)
+transfers between expert computations. We classify each GPU idle gap by the
+phase of the op whose start terminates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.schedule import GPU, PHASE_ATTENTION, PHASE_EXPERT, PHASE_GATE
+from repro.runtime.timeline import Timeline
+
+
+@dataclass(frozen=True)
+class BubbleReport:
+    """Decomposition of one run's GPU idle time."""
+
+    total_time: float
+    busy_time: float
+    inter_layer: float
+    intra_layer: float
+    other_idle: float
+
+    @property
+    def total_bubbles(self) -> float:
+        return self.inter_layer + self.intra_layer + self.other_idle
+
+    @property
+    def bubble_fraction(self) -> float:
+        if self.total_time <= 0:
+            return 0.0
+        return self.total_bubbles / self.total_time
+
+    def summary(self) -> str:
+        return (
+            f"bubbles {self.bubble_fraction:.0%} of {self.total_time:.2f}s "
+            f"(inter-layer {self.inter_layer:.2f}s, intra-layer "
+            f"{self.intra_layer:.2f}s, other {self.other_idle:.2f}s)"
+        )
+
+
+def analyze_bubbles(timeline: Timeline) -> BubbleReport:
+    """Classify every GPU idle gap of the timeline."""
+    inter = intra = other = 0.0
+    for gap in timeline.idle_gaps(GPU):
+        phase = gap.before_op.op.phase
+        if phase in (PHASE_EXPERT, PHASE_GATE):
+            intra += gap.duration
+        elif phase == PHASE_ATTENTION:
+            inter += gap.duration
+        else:
+            other += gap.duration
+    return BubbleReport(
+        total_time=timeline.makespan,
+        busy_time=timeline.busy_time.get(GPU, 0.0),
+        inter_layer=inter,
+        intra_layer=intra,
+        other_idle=other,
+    )
+
+
+def block_time(timeline: Timeline, layer: int, step: int | None = None) -> float:
+    """Wall time spanned by one MoE block's ops (Figure 15's per-block view).
+
+    ``step`` filters by the ``s{step}`` suffix convention of op labels; when
+    None the first occurrence of the layer is measured.
+    """
+    ops = [
+        e
+        for e in timeline.executed
+        if e.op.layer == layer
+        and (step is None or e.op.label.endswith(f"s{step}"))
+    ]
+    if not ops:
+        return 0.0
+    return max(e.end for e in ops) - min(e.start for e in ops)

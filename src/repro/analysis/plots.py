@@ -1,0 +1,76 @@
+"""Text rendering: ASCII bar charts, series tables, and pipeline timelines.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.runtime.schedule import GPU, H2D
+from repro.runtime.timeline import Timeline
+
+
+def bar_chart(
+    values: Mapping[str, float], *, width: int = 40, unit: str = "", fmt: str = ".2f"
+) -> str:
+    """Horizontal ASCII bar chart of labelled values."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = []
+    for key, val in values.items():
+        bar = "#" * max(0, int(round(width * val / peak)))
+        lines.append(f"{key:<{label_w}} | {bar:<{width}} {val:{fmt}}{unit}")
+    return "\n".join(lines)
+
+
+def series_table(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    *,
+    fmt: str = "8.2f",
+) -> str:
+    """A column-per-series table, one row per x value (figure data dumps)."""
+    names = list(series)
+    header = f"{x_label:>10} " + " ".join(f"{n:>12}" for n in names)
+    rows = [header, "-" * len(header)]
+    for i, x in enumerate(x_values):
+        cells = []
+        for name in names:
+            val = series[name][i]
+            cells.append(f"{val:>12{fmt.lstrip('8')}}" if val == val else f"{'OOM':>12}")
+        rows.append(f"{str(x):>10} " + " ".join(cells))
+    return "\n".join(rows)
+
+
+def render_timeline(
+    timeline: Timeline,
+    *,
+    start: float,
+    end: float,
+    width: int = 100,
+    resources: Sequence[str] = (GPU, H2D),
+) -> str:
+    """ASCII Gantt view of a time window (the Figure 15 style comparison).
+
+    Each resource becomes one row; op cells are drawn with the first letter
+    of their phase (a=attention, g=gate, e=expert, t=transfer, k=kv).
+    """
+    span = max(end - start, 1e-9)
+    lines = []
+    for resource in resources:
+        row = ["."] * width
+        for e in timeline.ops_on(resource):
+            if e.end <= start or e.start >= end:
+                continue
+            lo = int((max(e.start, start) - start) / span * width)
+            hi = max(lo + 1, int((min(e.end, end) - start) / span * width))
+            ch = e.op.phase[0] if e.op.phase else "?"
+            for i in range(lo, min(hi, width)):
+                row[i] = ch
+        lines.append(f"{resource:>5} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Experiment result collection and paper-style formatting.
+
+A :class:`ResultGrid` accumulates (system, x) -> value cells and prints
+them the way the paper's tables/figures arrange them, tolerating missing
+cells (OOM points render as "OOM", matching §9.2's observation that some
+baselines cannot run large batches).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ResultGrid:
+    """A named grid of results: rows = systems, columns = sweep values."""
+
+    title: str
+    x_label: str
+    x_values: list = field(default_factory=list)
+    cells: dict = field(default_factory=dict)  # (system, x) -> float
+    oom: set = field(default_factory=set)  # (system, x)
+
+    def add(self, system: str, x, value: float) -> None:
+        if x not in self.x_values:
+            self.x_values.append(x)
+        self.cells[(system, x)] = value
+
+    def add_oom(self, system: str, x) -> None:
+        if x not in self.x_values:
+            self.x_values.append(x)
+        self.oom.add((system, x))
+
+    def systems(self) -> list[str]:
+        seen: list[str] = []
+        for system, _ in list(self.cells) + [(s, x) for s, x in self.oom]:
+            if system not in seen:
+                seen.append(system)
+        return seen
+
+    def get(self, system: str, x) -> float:
+        if (system, x) in self.oom:
+            return math.nan
+        return self.cells.get((system, x), math.nan)
+
+    def row(self, system: str) -> list[float]:
+        return [self.get(system, x) for x in self.x_values]
+
+    def speedup(self, system: str, baseline: str) -> float:
+        """Max ratio system/baseline across columns where both ran."""
+        best = 0.0
+        for x in self.x_values:
+            a, b = self.get(system, x), self.get(baseline, x)
+            if a == a and b == b and b > 0:
+                best = max(best, a / b)
+        return best
+
+    def render(self, fmt: str = ".2f") -> str:
+        systems = self.systems()
+        col_w = max(10, max((len(str(x)) for x in self.x_values), default=10) + 2)
+        name_w = max(len(s) for s in systems) if systems else 8
+        header = f"{self.title}\n{'':{name_w}} " + "".join(
+            f"{str(x):>{col_w}}" for x in self.x_values
+        )
+        lines = [header]
+        for system in systems:
+            cells = []
+            for x in self.x_values:
+                val = self.get(system, x)
+                cells.append(f"{'OOM':>{col_w}}" if val != val else f"{val:>{col_w}{fmt}}")
+            lines.append(f"{system:<{name_w}} " + "".join(cells))
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "title": self.title,
+                "x_label": self.x_label,
+                "x_values": self.x_values,
+                "rows": {
+                    system: [
+                        None if (system, x) in self.oom else self.cells.get((system, x))
+                        for x in self.x_values
+                    ]
+                    for system in self.systems()
+                },
+            },
+            indent=2,
+            default=str,
+        )
+
+
+def improvement_factor(after: float, before: float) -> float:
+    """Throughput improvement factor, paper-style (e.g. "85.12x")."""
+    if before <= 0:
+        return math.inf
+    return after / before

@@ -1,0 +1,26 @@
+"""Baseline inference systems the paper compares against."""
+
+from repro.systems import InferenceSystem, SystemResult
+from repro.baselines.sida import SiDASystem
+from repro.baselines.systems import (
+    ALL_BASELINES,
+    AccelerateSystem,
+    FastGenSystem,
+    FiddlerSystem,
+    FlexGenSystem,
+    MixtralOffloadingSystem,
+    MoEInfinitySystem,
+)
+
+__all__ = [
+    "InferenceSystem",
+    "SystemResult",
+    "ALL_BASELINES",
+    "AccelerateSystem",
+    "FastGenSystem",
+    "FiddlerSystem",
+    "FlexGenSystem",
+    "MixtralOffloadingSystem",
+    "SiDASystem",
+    "MoEInfinitySystem",
+]

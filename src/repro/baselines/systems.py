@@ -1,0 +1,168 @@
+"""Baseline inference systems (paper §9.1).
+
+Each baseline is characterized by the scheduling policy the paper
+attributes to it, re-implemented over the shared pipeline builder and
+simulator so that scheduling policy is the only difference:
+
+* **Accelerate-like** — device-map offloading with synchronous, layer-by-
+  layer weight loading (no compute/I-O overlap), one batch at a time, the
+  whole MoE layer loaded per layer.
+* **FastGen-like** — DeepSpeed-FastGen-style single-batch inference with
+  next-layer prefetch overlap, whole MoE layer per transfer.
+* **FlexGen-like** — zig-zag multi-batch block schedule: weights shared by
+  the whole batch group (same ``n`` as Klotski, per §9.2), but the entire
+  MoE layer is prefetched and expert computation stays batch-major.
+* **MoE-Infinity-like** — single batch, experts-only offloading with
+  activation-aware prefetching and an in-VRAM expert cache.
+* **Fiddler-like** — single batch, experts stay in DRAM and execute on the
+  CPU whenever that beats transferring them to the GPU.
+* **Mixtral-offloading-like** — single batch, LRU-style expert cache plus
+  expert quantization (the related-work system of Eliseev & Mazur).
+"""
+
+from __future__ import annotations
+
+from repro.systems import InferenceSystem
+from repro.baselines.placement import expert_offload_placement, full_offload_placement
+from repro.core.pipeline import PipelineFeatures, QUANT_BYTES_FACTOR
+from repro.core.placement import PlacementPlan
+from repro.core.prefetcher import ExpertPrefetcher
+from repro.core.engine import warm_up_prefetcher
+from repro.routing.workload import Workload
+from repro.scenario import Scenario
+
+
+class AccelerateSystem(InferenceSystem):
+    """Hugging Face Accelerate: sequential offloading, no overlap."""
+
+    name = "accelerate"
+    sequential = True
+
+    def make_features(self, scenario: Scenario) -> PipelineFeatures:
+        return PipelineFeatures(
+            overlap=False, hot_prefetch=False, adjust_order=False
+        )
+
+    def make_placement(self, scenario: Scenario, group: Workload) -> PlacementPlan:
+        return full_offload_placement(scenario, group)
+
+
+class FastGenSystem(InferenceSystem):
+    """DeepSpeed-FastGen: single-batch pipeline with next-layer prefetch."""
+
+    name = "fastgen"
+    sequential = True
+
+    def make_features(self, scenario: Scenario) -> PipelineFeatures:
+        return PipelineFeatures(
+            overlap=True, hot_prefetch=False, adjust_order=False
+        )
+
+    def make_placement(self, scenario: Scenario, group: Workload) -> PlacementPlan:
+        return full_offload_placement(scenario, group)
+
+
+class FlexGenSystem(InferenceSystem):
+    """FlexGen: multi-batch zig-zag schedule, whole-MoE-layer prefetch."""
+
+    name = "flexgen"
+    sequential = False
+
+    def make_features(self, scenario: Scenario) -> PipelineFeatures:
+        return PipelineFeatures(
+            overlap=True, hot_prefetch=False, adjust_order=False
+        )
+
+    def make_placement(self, scenario: Scenario, group: Workload) -> PlacementPlan:
+        return full_offload_placement(scenario, group)
+
+
+class MoEInfinitySystem(InferenceSystem):
+    """MoE-Infinity: activation-aware expert prefetch + cache, experts-only
+    offloading (KV and non-expert weights stay in VRAM)."""
+
+    name = "moe-infinity"
+    sequential = True
+
+    def __init__(self, cache_fraction: float = 0.15):
+        self.cache_fraction = cache_fraction
+
+    def make_features(self, scenario: Scenario) -> PipelineFeatures:
+        return PipelineFeatures(
+            overlap=True, hot_prefetch=True, adjust_order=False
+        )
+
+    def make_placement(self, scenario: Scenario, group: Workload) -> PlacementPlan:
+        return expert_offload_placement(
+            scenario, group, cache_fraction=self.cache_fraction
+        )
+
+    def make_prefetcher(
+        self, scenario: Scenario, batch_offset: int = 0
+    ) -> ExpertPrefetcher | None:
+        if scenario.model.is_dense:
+            return None
+        prefetcher = ExpertPrefetcher(
+            scenario.model.num_layers,
+            scenario.model.num_experts,
+            top_k=scenario.model.top_k,
+            prefetch_k=scenario.model.top_k,
+        )
+        warm_up_prefetcher(scenario, prefetcher)
+        return prefetcher
+
+
+class FiddlerSystem(InferenceSystem):
+    """Fiddler: CPU-GPU orchestration — experts execute on the CPU when
+    that is faster than moving them to the GPU."""
+
+    name = "fiddler"
+    sequential = True
+
+    def make_features(self, scenario: Scenario) -> PipelineFeatures:
+        return PipelineFeatures(
+            overlap=True, hot_prefetch=False, adjust_order=False, cpu_experts=True
+        )
+
+    def make_placement(self, scenario: Scenario, group: Workload) -> PlacementPlan:
+        return expert_offload_placement(scenario, group, cache_fraction=0.10)
+
+
+class MixtralOffloadingSystem(InferenceSystem):
+    """Mixtral-offloading: LRU expert cache + quantized experts."""
+
+    name = "mixtral-offloading"
+    sequential = True
+
+    def make_features(self, scenario: Scenario) -> PipelineFeatures:
+        return PipelineFeatures(
+            overlap=True, hot_prefetch=True, adjust_order=False, quantize=True
+        )
+
+    def make_placement(self, scenario: Scenario, group: Workload) -> PlacementPlan:
+        return expert_offload_placement(
+            scenario, group, cache_fraction=0.25, bytes_factor=QUANT_BYTES_FACTOR
+        )
+
+    def make_prefetcher(
+        self, scenario: Scenario, batch_offset: int = 0
+    ) -> ExpertPrefetcher | None:
+        if scenario.model.is_dense:
+            return None
+        # LRU caching approximated by marginal-popularity prefetching
+        # without warm-up (it learns online only).
+        return ExpertPrefetcher(
+            scenario.model.num_layers,
+            scenario.model.num_experts,
+            top_k=scenario.model.top_k,
+            prefetch_k=scenario.model.top_k,
+        )
+
+
+ALL_BASELINES = (
+    AccelerateSystem,
+    FastGenSystem,
+    FlexGenSystem,
+    MoEInfinitySystem,
+    FiddlerSystem,
+)

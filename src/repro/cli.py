@@ -1,0 +1,197 @@
+"""Command-line interface for the Klotski reproduction.
+
+Subcommands mirror how the paper's system is operated:
+
+* ``plan``       — offline constraint-sensitive planning of ``n`` (§7)
+* ``calibrate``  — measure and cache per-layer timings (§7 stage 1)
+* ``run``        — execute Klotski on a workload, print metrics
+* ``compare``    — run Klotski and the baselines on one scenario (Fig. 10)
+* ``sweep-n``    — throughput vs batch-group size (Fig. 14)
+* ``export-trace`` — save a run's pipeline as Chrome-tracing JSON
+
+Installed as ``klotski-repro`` (see ``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.bubbles import analyze_bubbles
+from repro.analysis.plots import bar_chart
+from repro.analysis.reporting import ResultGrid
+from repro.baselines import ALL_BASELINES
+from repro.core.engine import KlotskiEngine, KlotskiOptions, KlotskiSystem
+from repro.hardware.calibrate import TimingCache, measure
+from repro.hardware.spec import ENVIRONMENTS
+from repro.model.config import MODELS
+from repro.routing.workload import Workload
+from repro.runtime.traceexport import save_chrome_trace
+from repro.scenario import Scenario
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model", default="mixtral-8x7b", choices=sorted(MODELS),
+        help="model preset",
+    )
+    parser.add_argument(
+        "--env", default="env1", choices=sorted(ENVIRONMENTS),
+        help="hardware environment preset",
+    )
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--prompt-len", type=int, default=512)
+    parser.add_argument("--gen-len", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _scenario(args, num_batches: int = 1) -> Scenario:
+    workload = Workload(args.batch_size, num_batches, args.prompt_len, args.gen_len)
+    return Scenario(
+        MODELS[args.model], ENVIRONMENTS[args.env], workload, seed=args.seed
+    )
+
+
+def cmd_plan(args) -> int:
+    engine = KlotskiEngine(_scenario(args))
+    plan = engine.plan()
+    print(f"model={args.model} env={args.env} batch_size={args.batch_size}")
+    print(f"planned n = {plan.n} (feasible={plan.feasible})")
+    print(f"binding constraint: {plan.binding_constraint}")
+    for name, margin in plan.margins.items():
+        print(f"  {name:<28} {margin * 1e3:+9.2f} ms")
+    for note in plan.notes:
+        print(f"note: {note}")
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    model, hw = MODELS[args.model], ENVIRONMENTS[args.env]
+    if args.cache:
+        timings = TimingCache(args.cache).get_or_measure(
+            model, hw, batch_size=args.batch_size, prompt_len=args.prompt_len
+        )
+        print(f"cached in {args.cache}")
+    else:
+        timings = measure(
+            model, hw, batch_size=args.batch_size, prompt_len=args.prompt_len
+        )
+    for field_name, value in vars(timings).items():
+        if isinstance(value, float):
+            print(f"{field_name:<24} {value * 1e3:10.3f} ms")
+        else:
+            print(f"{field_name:<24} {value}")
+    print(f"{'io/compute ratio':<24} {timings.io_compute_ratio():10.1f}x")
+    return 0
+
+
+def cmd_run(args) -> int:
+    scenario = _scenario(args)
+    options = KlotskiOptions(quantize=args.quantize)
+    engine = KlotskiEngine(scenario, options)
+    result = engine.run(n=args.n)
+    print(result.metrics.summary())
+    print(analyze_bubbles(result.timeline).summary())
+    if result.prefetcher is not None:
+        stats = result.prefetcher.stats
+        print(
+            f"prefetch hot accuracy {stats.hot_accuracy().mean():.1%}, "
+            f"participation {stats.participation_rate().mean():.1%}"
+        )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    scenario = _scenario(args, num_batches=args.n or 6)
+    systems = [
+        KlotskiSystem(),
+        KlotskiSystem(KlotskiOptions(quantize=True)),
+        *[cls() for cls in ALL_BASELINES],
+    ]
+    throughputs = {}
+    for system in systems:
+        result = system.run_safe(scenario)
+        if result.oom:
+            print(f"{system.name:<20} OOM")
+        else:
+            throughputs[system.name] = result.throughput
+            print(f"{system.name:<20} {result.throughput:8.2f} tok/s")
+    print()
+    print(bar_chart(throughputs, unit=" tok/s"))
+    return 0
+
+
+def cmd_sweep_n(args) -> int:
+    grid = ResultGrid(
+        f"Throughput vs n — {args.model} on {args.env} (bs={args.batch_size})", "n"
+    )
+    for n in range(args.n_min, args.n_max + 1, args.n_step):
+        scenario = _scenario(args, num_batches=n)
+        result = KlotskiSystem().run(scenario)
+        grid.add("klotski", n, result.metrics.throughput)
+    print(grid.render())
+    return 0
+
+
+def cmd_export_trace(args) -> int:
+    scenario = _scenario(args, num_batches=args.n or 4)
+    result = KlotskiSystem().run(scenario)
+    save_chrome_trace(result.timeline, args.out)
+    print(
+        f"wrote {args.out}: {len(result.timeline.executed)} events, "
+        f"makespan {result.timeline.makespan:.2f} s "
+        "(open in chrome://tracing or Perfetto)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="klotski-repro",
+        description="Klotski (ASPLOS 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("plan", help="solve for the bubble-free batch-group size n")
+    _add_scenario_args(p)
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("calibrate", help="measure per-layer timings")
+    _add_scenario_args(p)
+    p.add_argument("--cache", help="JSON timing-cache path")
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("run", help="run Klotski and print metrics")
+    _add_scenario_args(p)
+    p.add_argument("--n", type=int, default=None, help="batch-group size (default: planned)")
+    p.add_argument("--quantize", action="store_true")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="compare against the baselines")
+    _add_scenario_args(p)
+    p.add_argument("--n", type=int, default=None)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep-n", help="throughput vs batch-group size")
+    _add_scenario_args(p)
+    p.add_argument("--n-min", type=int, default=3)
+    p.add_argument("--n-max", type=int, default=12)
+    p.add_argument("--n-step", type=int, default=3)
+    p.set_defaults(func=cmd_sweep_n)
+
+    p = sub.add_parser("export-trace", help="export a run as Chrome tracing JSON")
+    _add_scenario_args(p)
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--out", default="klotski_trace.json")
+    p.set_defaults(func=cmd_export_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Compression options: HQQ-style quantization and sparse attention."""
+
+from repro.compression.quantization import (
+    QuantConfig,
+    QuantizedTensor,
+    dequantize,
+    quantization_error,
+    quantize,
+)
+from repro.compression.sparse_attention import SparseAttentionConfig
+
+__all__ = [
+    "QuantConfig",
+    "QuantizedTensor",
+    "dequantize",
+    "quantization_error",
+    "quantize",
+    "SparseAttentionConfig",
+]

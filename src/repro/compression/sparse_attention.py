@@ -1,0 +1,48 @@
+"""StreamingLLM-style sparse attention (paper §7, "Compression").
+
+Klotski optionally restricts attention to the initial *sink* tokens plus a
+trailing neighbour window, which (a) bounds the KV cache each batch carries
+and (b) shrinks the KV bytes moved between heterogeneous memory. This
+module provides both the functional mask (used by the numpy model via
+:func:`repro.model.layers.sink_window_mask`) and the byte accounting used
+by schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.config import ModelConfig
+from repro.model.kvcache import StreamingConfig
+
+
+@dataclass(frozen=True)
+class SparseAttentionConfig:
+    """Engine-facing sparse attention settings."""
+
+    enabled: bool = False
+    sinks: int = 4
+    window: int = 256
+
+    def streaming(self) -> StreamingConfig | None:
+        if not self.enabled:
+            return None
+        return StreamingConfig(sinks=self.sinks, window=self.window)
+
+    def effective_context(self, context: int) -> int:
+        """KV length actually attended to / stored at a given context."""
+        if not self.enabled:
+            return context
+        return min(context, self.sinks + self.window)
+
+    def kv_bytes(self, model: ModelConfig, batch_size: int, context: int) -> int:
+        """Per-layer KV bytes for one batch under this policy."""
+        kept = self.effective_context(context)
+        return int(batch_size * kept * model.kv_bytes_per_token())
+
+    def savings_ratio(self, context: int) -> float:
+        """Fraction of KV bytes eliminated at a given context length."""
+        if context <= 0:
+            return 0.0
+        kept = self.effective_context(context)
+        return 1.0 - kept / context

@@ -1,0 +1,29 @@
+"""Klotski core: pipeline, planner, prefetcher, placement, engine."""
+
+from repro.core.engine import KlotskiEngine, KlotskiOptions, KlotskiSystem
+from repro.core.ordering import ExpertWork, cold_transfer_order, order_experts
+from repro.core.pipeline import PipelineBuilder, PipelineFeatures
+from repro.core.placement import PlacementConfig, PlacementPlan, plan_placement
+from repro.core.planner import IOComputePlanner, PlannerConfig, PlanResult, RoutingStats
+from repro.core.prefetcher import CorrelationTable, ExpertPrefetcher, PrefetchStats
+
+__all__ = [
+    "KlotskiEngine",
+    "KlotskiOptions",
+    "KlotskiSystem",
+    "ExpertWork",
+    "cold_transfer_order",
+    "order_experts",
+    "PipelineBuilder",
+    "PipelineFeatures",
+    "PlacementConfig",
+    "PlacementPlan",
+    "plan_placement",
+    "IOComputePlanner",
+    "PlannerConfig",
+    "PlanResult",
+    "RoutingStats",
+    "CorrelationTable",
+    "ExpertPrefetcher",
+    "PrefetchStats",
+]

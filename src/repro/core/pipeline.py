@@ -1,0 +1,670 @@
+"""Expert-aware multi-batch pipeline schedule builder (paper §5, Alg. 1).
+
+This module turns one generation workload into a :class:`Schedule` — the op
+DAG executed by the simulator. The builder implements the full paradigm:
+
+* **multi-batch weight sharing** — the ``n`` batches of a group run
+  back-to-back through each layer, so one weight transfer serves ``n``
+  computations (zig-zag block schedule);
+* **expert-aware prefetch** — during the attention phase only the gate and
+  the K predicted-hot experts of the next MoE layer are transferred; cold
+  experts stream on demand the moment a gate requests them;
+* **expert-major ordering** — expert computation is grouped by expert and
+  ordered hot-first / transfer-order (see :mod:`repro.core.ordering`);
+* **immediate release** — an expert's VRAM is freed right after its last
+  computation, and every stream interaction of Algorithm 1 (weight
+  prefetch, on-demand expert transfer, KV load, KV store) appears as
+  dependency edges on the FIFO ``h2d``/``d2h`` resources.
+
+Feature flags turn individual mechanisms off, which yields both the
+ablation ladder of Table 3 and several baselines (FlexGen-like = multi-batch
+with whole-MoE-layer prefetch; Accelerate-like = no overlap; Fiddler-like =
+CPU expert computation), all on identical substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.sparse_attention import SparseAttentionConfig
+from repro.core.ordering import cold_transfer_order, order_experts
+from repro.core.placement import PlacementPlan
+from repro.core.prefetcher import ExpertPrefetcher
+from repro.hardware.costmodel import CostModel, OpCost
+from repro.model.tensors import TensorInventory, attn_id, expert_id, gate_id
+from repro.routing.oracle import RoutingOracle
+from repro.routing.trace import expert_token_counts
+from repro.routing.workload import Workload
+from repro.runtime.schedule import (
+    GPU,
+    MemEffect,
+    PHASE_ATTENTION,
+    PHASE_EXPERT,
+    PHASE_GATE,
+    PHASE_KV,
+    PHASE_OTHER,
+    Schedule,
+)
+
+QUANT_BYTES_FACTOR = 0.28  # 4-bit weights + group scale/zero metadata
+
+
+@dataclass(frozen=True)
+class PipelineFeatures:
+    """Mechanism switches; defaults are full Klotski."""
+
+    overlap: bool = True  # prefetch next layer during current compute
+    hot_prefetch: bool = True  # False: transfer the whole MoE layer
+    adjust_order: bool = True  # expert-major hot-first ordering
+    quantize: bool = False  # 4-bit expert + attention weights
+    cpu_experts: bool = False  # Fiddler-style CPU expert execution
+
+    @classmethod
+    def klotski(cls, quantize: bool = False) -> "PipelineFeatures":
+        return cls(quantize=quantize)
+
+    @classmethod
+    def simple_pipeline(cls) -> "PipelineFeatures":
+        """Single-batch whole-layer prefetch (ablation baseline)."""
+        return cls(hot_prefetch=False, adjust_order=False)
+
+
+@dataclass
+class BuildResult:
+    """Schedule plus metadata needed to derive metrics."""
+
+    schedule: Schedule
+    step_last_op: list[int] = field(default_factory=list)
+    groups_built: int = 0
+
+
+class PipelineBuilder:
+    """Builds the op DAG for one batch group over a full generation."""
+
+    def __init__(
+        self,
+        *,
+        cost_model: CostModel,
+        inventory: TensorInventory,
+        oracle: RoutingOracle,
+        workload: Workload,
+        placement: PlacementPlan,
+        prefetcher: ExpertPrefetcher | None,
+        features: PipelineFeatures | None = None,
+        sparse_attention: SparseAttentionConfig | None = None,
+    ):
+        self.cost = cost_model
+        self.model = cost_model.model
+        self.inventory = inventory
+        self.oracle = oracle
+        self.workload = workload
+        self.placement = placement
+        self.prefetcher = prefetcher
+        self.features = features or PipelineFeatures()
+        self.sparse_attention = sparse_attention or SparseAttentionConfig()
+        self.n = workload.num_batches
+        # tensor_id -> op id of the transfer that made it VRAM-ready.
+        self._ready: dict[str, int] = {}
+        self._pending_hot: dict[int, list[int]] = {}
+        self._last_compute: int | None = None
+        self._last_transfer: int | None = None
+        self._layer_first_compute: int | None = None
+        self._kv_allocs: list[MemEffect] = []
+
+    # ---- small helpers ---------------------------------------------------------
+
+    def _weight_bytes(self, tensor_id: str, kind: str) -> int:
+        nbytes = self.inventory.nbytes(tensor_id)
+        if self.features.quantize and kind in ("attn", "expert"):
+            return int(nbytes * QUANT_BYTES_FACTOR)
+        return nbytes
+
+    def _gpu(self, cost: OpCost, label: str, **kw) -> int:
+        if not self.features.overlap and self._last_transfer is not None:
+            # Synchronous (Accelerate-style) execution: computation also
+            # waits for every weight transfer issued so far.
+            kw["deps"] = list(kw.get("deps", ())) + [self._last_transfer]
+        op = self._schedule.compute(self.cost.gpu_time(cost), label, **kw)
+        self._last_compute = op
+        return op
+
+    def _load_weight(
+        self,
+        tensor_id: str,
+        kind: str,
+        layer: int,
+        deps: list[int],
+        *,
+        on_demand: bool = False,
+    ) -> int | None:
+        """Issue transfer ops bringing ``tensor_id`` to VRAM; None if resident.
+
+        ``on_demand`` routes the copy through the dedicated on-demand CUDA
+        stream (paper §8), so gate-triggered expert transfers do not block
+        the weight-prefetch stream head-of-line.
+        """
+        if self.placement.is_resident(tensor_id):
+            return None
+        if tensor_id in self._ready:
+            return self._ready[tensor_id]
+        nbytes = self._weight_bytes(tensor_id, kind)
+        level = self.placement.level_of(tensor_id)
+        all_deps = list(deps)
+        if not self.features.overlap and self._last_compute is not None:
+            all_deps.append(self._last_compute)
+        if level == "disk":
+            disk_op = self._schedule.disk_read(
+                self.cost.transfer_time(nbytes, "disk", "dram"),
+                f"disk:{tensor_id}",
+                deps=all_deps,
+                layer=layer,
+            )
+            all_deps = [disk_op]
+        op = self._schedule.transfer_in(
+            self.cost.transfer_time(nbytes, "dram", "vram", pinned=self.placement.pinned),
+            f"h2d:{tensor_id}",
+            on_demand=on_demand,
+            deps=all_deps,
+            layer=layer,
+            allocs=[MemEffect("vram", tensor_id, nbytes)],
+        )
+        self._ready[tensor_id] = op
+        self._last_transfer = op
+        return op
+
+    def _free_weight(self, tensor_id: str, kind: str) -> list[MemEffect]:
+        """Free effects for a weight, or nothing if resident."""
+        if self.placement.is_resident(tensor_id) or tensor_id not in self._ready:
+            return []
+        del self._ready[tensor_id]
+        return [MemEffect("vram", tensor_id, self._weight_bytes(tensor_id, kind))]
+
+    def _dep(self, *ops: int | None) -> list[int]:
+        return [op for op in ops if op is not None]
+
+    # ---- main build -----------------------------------------------------------------
+
+    def build(self, schedule: Schedule | None = None) -> BuildResult:
+        self._schedule = schedule if schedule is not None else Schedule()
+        result = BuildResult(schedule=self._schedule, groups_built=1)
+        model = self.model
+        wl = self.workload
+
+        self._emit_init_residents()
+        prev_step_tail: int | None = None
+        for step in range(wl.num_steps):
+            if self.prefetcher is not None:
+                self.prefetcher.begin_step()
+            new_tokens = wl.prompt_len if step == 0 else 1
+            context = wl.prompt_len if step == 0 else wl.context_at(step)
+            # Layer 0 weights for this step (for step 0; later steps were
+            # prefetched at the tail of the previous step).
+            self._issue_layer_transfers(0, deps=[])
+            barrier: list[int] = self._dep(prev_step_tail)
+            embed_op = self._emit_embed(step, new_tokens, barrier)
+            barrier = [embed_op]
+
+            for routing in self.oracle.step_routing(step, wl):
+                layer = routing.layer
+                barrier = self._emit_layer(
+                    step, layer, routing, new_tokens, context, barrier
+                )
+                next_layer = layer + 1
+                if next_layer < self.oracle.num_layers:
+                    self._issue_layer_transfers(
+                        next_layer, deps=self._prefetch_anchor(barrier)
+                    )
+            head_op = self._emit_head(step, new_tokens, barrier)
+            if step + 1 < wl.num_steps:
+                self._issue_layer_transfers(0, deps=self._prefetch_anchor([head_op]))
+            prev_step_tail = head_op
+            result.step_last_op.append(head_op)
+        if self._kv_allocs and prev_step_tail is not None:
+            # The group's KV cache is released when its generation completes
+            # (sequential systems reuse the space for the next batch).
+            op = self._schedule.ops[prev_step_tail]
+            op.frees = op.frees + tuple(self._kv_allocs)
+            self._kv_allocs = []
+        return result
+
+    # ---- emission pieces ---------------------------------------------------------
+
+    def _emit_init_residents(self) -> None:
+        if len(self._schedule) > 0:
+            return  # sequential systems share one resident blob per run
+        static = self.placement.resident_bytes + self.placement.activation_reserve_bytes
+        self._schedule.compute(
+            0.0,
+            "init:resident",
+            allocs=[MemEffect("vram", "resident+workspace", static)],
+            phase=PHASE_OTHER,
+        )
+
+    def _prefetch_anchor(self, barrier: list[int]) -> list[int]:
+        """Dependency controlling when next-layer prefetch may start.
+
+        With overlap, the next layer's weights start streaming once the
+        current layer's computation begins (double buffering: at most two
+        layers of weights are in flight); without overlap (Accelerate-like
+        synchronous loading) transfers wait for the layer barrier.
+        """
+        if self.features.overlap:
+            if self._layer_first_compute is None:
+                return []
+            return [self._layer_first_compute]
+        return list(barrier)
+
+    def _issue_layer_transfers(self, layer: int, deps: list[int]) -> None:
+        """Issue attention/gate/expert weight transfers for ``layer``."""
+        model = self.model
+        self._load_weight(attn_id(layer), "attn", layer, deps)
+        if model.is_dense:
+            # The single FFN "expert" is the dense MoE layer.
+            self._load_weight(expert_id(layer, 0), "expert", layer, deps)
+            self._pending_hot[layer] = [0]
+            return
+        self._load_weight(gate_id(layer), "gate", layer, deps)
+        if self.features.cpu_experts:
+            self._pending_hot[layer] = []
+            return
+        if self.features.hot_prefetch:
+            if self.prefetcher is not None:
+                hot = self.prefetcher.predict(layer)
+            else:
+                hot = list(range(min(model.top_k, model.num_experts)))
+        else:
+            hot = list(range(model.num_experts))
+        for e in hot:
+            self._load_weight(expert_id(layer, e), "expert", layer, deps)
+        self._pending_hot[layer] = hot
+
+    def _emit_embed(self, step: int, new_tokens: int, deps: list[int]) -> int:
+        tokens = self.workload.total_sequences * new_tokens
+        cost = OpCost(0.0, tokens * self.model.hidden_size * self.model.dtype_bytes, 1)
+        return self._gpu(cost, f"embed:s{step}", deps=deps, phase=PHASE_OTHER)
+
+    def _emit_head(self, step: int, new_tokens: int, deps: list[int]) -> int:
+        model = self.model
+        tokens = self.workload.total_sequences  # logits only for last position
+        flops = 2.0 * model.hidden_size * model.vocab_size * tokens
+        cost = OpCost(flops, model.vocab_size * tokens * model.dtype_bytes, 2)
+        return self._gpu(cost, f"head:s{step}", deps=deps, phase=PHASE_OTHER)
+
+    def _emit_layer(
+        self,
+        step: int,
+        layer: int,
+        routing,
+        new_tokens: int,
+        context: int,
+        barrier: list[int],
+    ) -> list[int]:
+        """Emit one MoE block (attention + gate + experts); returns barrier."""
+        model = self.model
+        wl = self.workload
+        attn_dep = self._ready.get(attn_id(layer))
+        attn_ops: list[int] = []
+        kv_stream = self.placement.kv_level == "dram" and step > 0
+        # Sparse (sink + window) attention bounds the KV actually attended
+        # to and moved between memories (§7 "Compression").
+        context = self.sparse_attention.effective_context(context)
+        first_attn: int | None = None
+        for b in range(self.n):
+            deps = self._dep(attn_dep, *barrier)
+            if kv_stream:
+                kv_bytes = int(
+                    wl.batch_size * context * model.kv_bytes_per_token()
+                )
+                kv_load = self._schedule.transfer_in(
+                    self.cost.transfer_time(
+                        kv_bytes, "dram", "vram", pinned=self.placement.pinned
+                    ),
+                    f"kvload:L{layer}b{b}s{step}",
+                    layer=layer,
+                    phase=PHASE_KV,
+                    batch=b,
+                )
+                deps.append(kv_load)
+            cost = self.cost.attention_cost(wl.batch_size, new_tokens, context)
+            if self.features.quantize:
+                cost = cost.merged(self.cost.dequant_cost(model.attention_bytes()))
+            op = self._gpu(
+                cost,
+                f"attn:L{layer}b{b}s{step}",
+                deps=deps,
+                layer=layer,
+                phase=PHASE_ATTENTION,
+                batch=b,
+            )
+            attn_ops.append(op)
+            if first_attn is None:
+                first_attn = op
+                self._layer_first_compute = op
+            self._emit_kv_store(step, layer, b, new_tokens, op)
+
+        assignments = routing.assignments
+        scale = routing.scale
+        slices = np.array_split(np.arange(assignments.shape[0]), self.n)
+
+        if model.is_dense:
+            return self._emit_dense_ffn(step, layer, new_tokens, attn_ops, slices, scale)
+
+        gate_dep = self._ready.get(gate_id(layer))
+        gate_ops: list[int] = []
+        for b, sl in enumerate(slices):
+            cost = self.cost.gate_cost(max(1, int(len(sl) * scale)))
+            gate_ops.append(
+                self._gpu(
+                    cost,
+                    f"gate:L{layer}b{b}s{step}",
+                    deps=self._dep(gate_dep, attn_ops[b]),
+                    layer=layer,
+                    phase=PHASE_GATE,
+                    batch=b,
+                )
+            )
+
+        predicted = self._pending_hot.get(layer, [])
+        if self.prefetcher is not None:
+            self.prefetcher.observe(layer, assignments, predicted)
+
+        total_counts = expert_token_counts(assignments, model.num_experts)
+        batch_counts = [
+            expert_token_counts(assignments[sl], model.num_experts) for sl in slices
+        ]
+        resident = {
+            e
+            for e in range(model.num_experts)
+            if self.placement.is_resident(expert_id(layer, e))
+        }
+
+        if self.features.cpu_experts:
+            expert_ops = self._emit_cpu_experts(
+                step, layer, total_counts, batch_counts, gate_ops, scale, resident
+            )
+        else:
+            self._issue_cold_transfers(
+                layer, total_counts, batch_counts, predicted, resident, gate_ops
+            )
+            if self.features.adjust_order:
+                expert_ops = self._emit_experts_expert_major(
+                    step, layer, total_counts, batch_counts, predicted,
+                    resident, gate_ops, scale,
+                )
+            else:
+                expert_ops = self._emit_experts_batch_major(
+                    step, layer, batch_counts, total_counts, gate_ops, scale
+                )
+
+        self._attach_layer_frees(layer, attn_ops, gate_ops, expert_ops)
+        return expert_ops if expert_ops else gate_ops
+
+    # ---- expert emission variants -------------------------------------------------
+
+    def _issue_cold_transfers(
+        self,
+        layer: int,
+        total_counts: np.ndarray,
+        batch_counts: list[np.ndarray],
+        predicted: list[int],
+        resident: set[int],
+        gate_ops: list[int],
+    ) -> None:
+        """On-demand transfers for activated non-prefetched experts."""
+        if not self.features.hot_prefetch:
+            return  # whole layer already in the prefetch stream
+        for e in cold_transfer_order(total_counts, predicted, resident):
+            first_batch = next(
+                (b for b, counts in enumerate(batch_counts) if counts[e] > 0), 0
+            )
+            self._load_weight(
+                expert_id(layer, e),
+                "expert",
+                layer,
+                [gate_ops[first_batch]],
+                on_demand=True,
+            )
+
+    def _expert_cost(self, tokens: float) -> OpCost:
+        cost = self.cost.expert_cost(max(1.0, tokens))
+        if self.features.quantize:
+            cost = cost.merged(self.cost.dequant_cost(self.model.expert_bytes()))
+        return cost
+
+    def _emit_experts_expert_major(
+        self,
+        step: int,
+        layer: int,
+        total_counts: np.ndarray,
+        batch_counts: list[np.ndarray],
+        predicted: list[int],
+        resident: set[int],
+        gate_ops: list[int],
+        scale: float,
+    ) -> list[int]:
+        ops: list[int] = []
+        order = order_experts(
+            total_counts, predicted, resident=resident, adjust=True, scale=scale
+        )
+        for work in order:
+            transfer = self._ready.get(expert_id(layer, work.expert))
+            involved = [
+                gate_ops[b] for b, counts in enumerate(batch_counts)
+                if counts[work.expert] > 0
+            ]
+            op = self._gpu(
+                self._expert_cost(work.tokens),
+                f"exp{work.expert}:L{layer}s{step}",
+                deps=self._dep(transfer, *involved),
+                layer=layer,
+                phase=PHASE_EXPERT,
+            )
+            ops.append(op)
+            self._free_expert_after(layer, work.expert, op)
+        return ops
+
+    def _emit_experts_batch_major(
+        self,
+        step: int,
+        layer: int,
+        batch_counts: list[np.ndarray],
+        total_counts: np.ndarray,
+        gate_ops: list[int],
+        scale: float,
+    ) -> list[int]:
+        """Unorchestrated order: batch by batch, expert id ascending."""
+        ops: list[int] = []
+        remaining = total_counts.copy()
+        for b, counts in enumerate(batch_counts):
+            for e in np.nonzero(counts)[0]:
+                e = int(e)
+                transfer = self._ready.get(expert_id(layer, e))
+                op = self._gpu(
+                    self._expert_cost(float(counts[e]) * scale),
+                    f"exp{e}:L{layer}b{b}s{step}",
+                    deps=self._dep(transfer, gate_ops[b]),
+                    layer=layer,
+                    phase=PHASE_EXPERT,
+                    batch=b,
+                )
+                ops.append(op)
+                remaining[e] -= counts[e]
+                if remaining[e] <= 0:
+                    self._free_expert_after(layer, e, op)
+        # Inactive loaded experts (whole-layer prefetch) are pure I/O waste;
+        # free them at the layer barrier.
+        for e in np.nonzero(total_counts == 0)[0]:
+            self._free_expert_after(layer, int(e), ops[-1] if ops else gate_ops[-1])
+        return ops
+
+    def _emit_cpu_experts(
+        self,
+        step: int,
+        layer: int,
+        total_counts: np.ndarray,
+        batch_counts: list[np.ndarray],
+        gate_ops: list[int],
+        scale: float,
+        resident: set[int],
+    ) -> list[int]:
+        """Fiddler-style: run DRAM-resident experts on the CPU when faster."""
+        model = self.model
+        ops: list[int] = []
+        for e in np.nonzero(total_counts)[0]:
+            e = int(e)
+            tokens = float(total_counts[e]) * scale
+            involved = [
+                gate_ops[b] for b, counts in enumerate(batch_counts) if counts[e] > 0
+            ]
+            cost = self._expert_cost(tokens)
+            if e in resident:
+                ops.append(
+                    self._gpu(
+                        cost,
+                        f"exp{e}:L{layer}s{step}",
+                        deps=self._dep(*involved),
+                        layer=layer,
+                        phase=PHASE_EXPERT,
+                    )
+                )
+                continue
+            transfer_s = self.cost.transfer_time(
+                self._weight_bytes(expert_id(layer, e), "expert"), "dram", "vram",
+                pinned=self.placement.pinned,
+            )
+            gpu_path = transfer_s + self.cost.gpu_time(cost)
+            cpu_path = self.cost.cpu_time(cost)
+            hidden_bytes = int(tokens * model.hidden_size * model.dtype_bytes)
+            if cpu_path <= gpu_path:
+                down = self._schedule.transfer_out(
+                    self.cost.transfer_time(hidden_bytes, "vram", "dram"),
+                    f"d2h:hid:L{layer}e{e}s{step}",
+                    deps=self._dep(*involved),
+                    layer=layer,
+                    phase=PHASE_EXPERT,
+                )
+                cpu_op = self._schedule.cpu_compute(
+                    self.cost.cpu_time(cost),
+                    f"cpu-exp{e}:L{layer}s{step}",
+                    deps=[down],
+                    layer=layer,
+                    phase=PHASE_EXPERT,
+                )
+                up = self._schedule.transfer_in(
+                    self.cost.transfer_time(hidden_bytes, "dram", "vram"),
+                    f"h2d:hid:L{layer}e{e}s{step}",
+                    deps=[cpu_op],
+                    layer=layer,
+                    phase=PHASE_EXPERT,
+                )
+                ops.append(up)
+            else:
+                transfer = self._load_weight(
+                    expert_id(layer, e),
+                    "expert",
+                    layer,
+                    self._dep(*involved),
+                    on_demand=True,
+                )
+                op = self._gpu(
+                    cost,
+                    f"exp{e}:L{layer}s{step}",
+                    deps=self._dep(transfer, *involved),
+                    layer=layer,
+                    phase=PHASE_EXPERT,
+                )
+                self._free_expert_after(layer, e, op)
+                ops.append(op)
+        return ops
+
+    def _emit_dense_ffn(
+        self,
+        step: int,
+        layer: int,
+        new_tokens: int,
+        attn_ops: list[int],
+        slices: list[np.ndarray],
+        scale: float,
+    ) -> list[int]:
+        """Dense models: the single FFN processes every batch in turn."""
+        transfer = self._ready.get(expert_id(layer, 0))
+        ops: list[int] = []
+        for b, sl in enumerate(slices):
+            tokens = max(1.0, len(sl) * scale)
+            ops.append(
+                self._gpu(
+                    self._expert_cost(tokens),
+                    f"ffn:L{layer}b{b}s{step}",
+                    deps=self._dep(transfer, attn_ops[b]),
+                    layer=layer,
+                    phase=PHASE_EXPERT,
+                    batch=b,
+                )
+            )
+        self._attach_layer_frees(layer, attn_ops, [], ops)
+        return ops
+
+    # ---- frees & KV -------------------------------------------------------------------
+
+    def _free_expert_after(self, layer: int, expert: int, op_id: int) -> None:
+        effects = self._free_weight(expert_id(layer, expert), "expert")
+        if effects:
+            op = self._schedule.ops[op_id]
+            op.frees = op.frees + tuple(effects)
+
+    def _attach_layer_frees(
+        self,
+        layer: int,
+        attn_ops: list[int],
+        gate_ops: list[int],
+        expert_ops: list[int],
+    ) -> None:
+        if attn_ops:
+            effects = self._free_weight(attn_id(layer), "attn")
+            if effects:
+                op = self._schedule.ops[attn_ops[-1]]
+                op.frees = op.frees + tuple(effects)
+        if gate_ops and not self.model.is_dense:
+            effects = self._free_weight(gate_id(layer), "gate")
+            if effects:
+                op = self._schedule.ops[gate_ops[-1]]
+                op.frees = op.frees + tuple(effects)
+        # Any experts still ready (e.g. prefetched but unused) are freed at
+        # the layer barrier to cap peak memory.
+        tail = (expert_ops or gate_ops or attn_ops)[-1]
+        for e in range(self.model.num_experts):
+            tid = expert_id(layer, e)
+            if tid in self._ready:
+                effects = self._free_weight(tid, "expert")
+                op = self._schedule.ops[tail]
+                op.frees = op.frees + tuple(effects)
+
+    def _emit_kv_store(
+        self, step: int, layer: int, batch: int, new_tokens: int, attn_op: int
+    ) -> None:
+        model = self.model
+        wl = self.workload
+        delta = int(wl.batch_size * new_tokens * model.kv_bytes_per_token())
+        # Under sink+window attention the cache stops growing once the
+        # window is full: evictions balance appends.
+        grown = self.sparse_attention.effective_context(wl.context_at(step))
+        prev = self.sparse_attention.effective_context(max(0, wl.context_at(step) - new_tokens))
+        alloc_delta = int(wl.batch_size * (grown - prev) * model.kv_bytes_per_token())
+        kv_tensor = f"kv.{layer}.{batch}.s{step}"
+        if self.placement.kv_level == "vram":
+            if alloc_delta > 0:
+                effect = MemEffect("vram", kv_tensor, alloc_delta)
+                op = self._schedule.ops[attn_op]
+                op.allocs = op.allocs + (effect,)
+                self._kv_allocs.append(effect)
+            return
+        self._schedule.transfer_out(
+            self.cost.transfer_time(delta, "vram", "dram", pinned=self.placement.pinned),
+            f"kvstore:L{layer}b{batch}s{step}",
+            deps=[attn_op],
+            layer=layer,
+            phase=PHASE_KV,
+            batch=batch,
+        )

@@ -1,0 +1,118 @@
+"""Planner stage 1: measure layer timings and cache them (paper §7).
+
+"Before the inference with an MoE model, Klotski measures the computation
+times and transmission durations of the model's various layers based on
+their shapes, data types, and other relevant information in the current
+environment. These results are cached locally."
+
+In this reproduction the "measurement" probes the cost model (our stand-in
+for the machine); the structure — profile once, cache as JSON, reuse for
+planning — is the real workflow, and the cache can equally be filled with
+numbers profiled on physical hardware.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.hardware.costmodel import CostModel
+from repro.hardware.spec import HardwareSpec
+from repro.model.config import ModelConfig
+
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LayerTimings:
+    """Measured per-layer compute and transfer times for one operating
+    point (model, hardware, batch size, context)."""
+
+    model: str
+    hardware: str
+    batch_size: int
+    context: int
+    t_c_attention_decode: float
+    t_c_attention_prefill: float
+    t_c_gate: float
+    t_c_expert_per_token: float
+    t_io_attention: float
+    t_io_gate: float
+    t_io_expert: float
+    t_io_moe_layer: float
+
+    def io_compute_ratio(self) -> float:
+        """Expert I/O over decode attention compute — the imbalance that
+        motivates the whole paper (§1)."""
+        return self.t_io_expert / max(self.t_c_attention_decode, 1e-12)
+
+
+def measure(
+    model: ModelConfig,
+    hardware: HardwareSpec,
+    *,
+    batch_size: int = 16,
+    prompt_len: int = 512,
+) -> LayerTimings:
+    """Profile one operating point."""
+    cost = CostModel(model, hardware)
+    per_token = cost.t_c_E(2 * batch_size) - cost.t_c_E(batch_size)
+    return LayerTimings(
+        model=model.name,
+        hardware=hardware.name,
+        batch_size=batch_size,
+        context=prompt_len,
+        t_c_attention_decode=cost.t_c_A(batch_size, 1, prompt_len),
+        t_c_attention_prefill=cost.t_c_A(batch_size, prompt_len, prompt_len),
+        t_c_gate=cost.t_c_G(batch_size, 1),
+        t_c_expert_per_token=max(0.0, per_token / batch_size),
+        t_io_attention=cost.t_io_A(),
+        t_io_gate=cost.t_io_G(),
+        t_io_expert=cost.t_io_E(),
+        t_io_moe_layer=cost.t_io_MoE(),
+    )
+
+
+class TimingCache:
+    """Local JSON cache of measured timings, keyed by operating point."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._entries: dict[str, dict] = {}
+        if self.path.exists():
+            data = json.loads(self.path.read_text())
+            if data.get("version") == CACHE_VERSION:
+                self._entries = data["entries"]
+
+    @staticmethod
+    def _key(model: str, hardware: str, batch_size: int, context: int) -> str:
+        return f"{model}|{hardware}|bs{batch_size}|ctx{context}"
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_measure(
+        self,
+        model: ModelConfig,
+        hardware: HardwareSpec,
+        *,
+        batch_size: int = 16,
+        prompt_len: int = 512,
+    ) -> LayerTimings:
+        """Cached timings, measuring (and persisting) on a miss."""
+        key = self._key(model.name, hardware.name, batch_size, prompt_len)
+        if key in self._entries:
+            return LayerTimings(**self._entries[key])
+        timings = measure(
+            model, hardware, batch_size=batch_size, prompt_len=prompt_len
+        )
+        self._entries[key] = asdict(timings)
+        self._save()
+        return timings
+
+    def _save(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps({"version": CACHE_VERSION, "entries": self._entries}, indent=1)
+        )

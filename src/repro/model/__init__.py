@@ -1,0 +1,42 @@
+"""MoE model substrate: configurations, tensors, and the numpy transformer."""
+
+from repro.model.config import (
+    MIXTRAL_8X7B,
+    MIXTRAL_8X22B,
+    MODELS,
+    OPT_1_3B,
+    OPT_6_7B,
+    SWITCH_BASE_8,
+    SWITCH_BASE_16,
+    SWITCH_BASE_128,
+    ModelConfig,
+)
+from repro.model.kvcache import LayerKVCache, ModelKVCache, StreamingConfig
+from repro.model.moe import ExpertWeights, MoELayer, top_k_gate
+from repro.model.tensors import TensorInventory, TensorSpec
+from repro.model.tokenizer import ToyTokenizer, synthetic_corpus
+from repro.model.transformer import GenerationResult, MoETransformer
+
+__all__ = [
+    "MIXTRAL_8X7B",
+    "MIXTRAL_8X22B",
+    "MODELS",
+    "OPT_1_3B",
+    "OPT_6_7B",
+    "SWITCH_BASE_8",
+    "SWITCH_BASE_16",
+    "SWITCH_BASE_128",
+    "ModelConfig",
+    "LayerKVCache",
+    "ModelKVCache",
+    "StreamingConfig",
+    "ExpertWeights",
+    "MoELayer",
+    "top_k_gate",
+    "TensorInventory",
+    "TensorSpec",
+    "ToyTokenizer",
+    "synthetic_corpus",
+    "GenerationResult",
+    "MoETransformer",
+]

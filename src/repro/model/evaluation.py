@@ -1,0 +1,101 @@
+"""Model-quality evaluation: pseudo-perplexity under compression.
+
+The paper claims expert weights tolerate aggressive quantization "with
+minimal precision loss" (§7) and that sink+window attention preserves
+effective inference (StreamingLLM). This module quantifies both on the
+numpy model: next-token negative log-likelihood (and perplexity) over a
+held-out synthetic corpus, for the base model and for compressed variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.quantization import QuantConfig, dequantize, quantize
+from repro.model.config import ModelConfig
+from repro.model.kvcache import StreamingConfig
+from repro.model.tokenizer import synthetic_corpus
+from repro.model.transformer import MoETransformer
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Language-model quality on one corpus."""
+
+    nll: float  # mean next-token negative log likelihood (nats)
+    token_count: int
+
+    @property
+    def perplexity(self) -> float:
+        return float(np.exp(self.nll))
+
+
+def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def evaluate_nll(model: MoETransformer, tokens: np.ndarray) -> EvalResult:
+    """Teacher-forced next-token NLL of ``tokens [batch, seq]``."""
+    caches = model.new_cache(tokens.shape[0])
+    logits = model.forward(tokens, caches)
+    log_probs = _log_softmax(logits[:, :-1, :])
+    targets = tokens[:, 1:]
+    picked = np.take_along_axis(log_probs, targets[..., None], axis=-1)
+    return EvalResult(nll=float(-picked.mean()), token_count=int(targets.size))
+
+
+def quantize_experts(model: MoETransformer, config: QuantConfig) -> MoETransformer:
+    """In-place round-trip quantization of every expert FFN (the paper's
+    expert-only compression choice). Returns the model for chaining."""
+    for layer in model.moe_layers:
+        for expert in layer.experts:
+            expert.w1 = dequantize(quantize(expert.w1, config))
+            expert.w2 = dequantize(quantize(expert.w2, config))
+            if expert.w3 is not None:
+                expert.w3 = dequantize(quantize(expert.w3, config))
+    return model
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """Quality deltas of the compression options."""
+
+    base: EvalResult
+    quantized: EvalResult
+    streaming: EvalResult
+
+    def quantization_degradation(self) -> float:
+        """Relative perplexity increase from expert quantization."""
+        return self.quantized.perplexity / self.base.perplexity - 1.0
+
+    def streaming_degradation(self) -> float:
+        return self.streaming.perplexity / self.base.perplexity - 1.0
+
+
+def compare_compression(
+    config: ModelConfig,
+    *,
+    seed: int = 0,
+    n_sequences: int = 4,
+    seq_len: int = 48,
+    quant: QuantConfig | None = None,
+    streaming: StreamingConfig | None = None,
+) -> CompressionReport:
+    """Evaluate base vs quantized vs streaming-attention variants."""
+    quant = quant or QuantConfig(bits=4, group_size=32)
+    streaming = streaming or StreamingConfig(sinks=4, window=24)
+    corpus = synthetic_corpus(n_sequences, seq_len, config.vocab_size, seed=seed + 1)
+
+    base_model = MoETransformer(config, seed=seed)
+    base = evaluate_nll(base_model, corpus)
+
+    quant_model = quantize_experts(MoETransformer(config, seed=seed), quant)
+    quantized = evaluate_nll(quant_model, corpus)
+
+    streaming_model = MoETransformer(config, seed=seed, streaming=streaming)
+    stream = evaluate_nll(streaming_model, corpus)
+
+    return CompressionReport(base=base, quantized=quantized, streaming=stream)

@@ -1,0 +1,105 @@
+"""KV cache with optional StreamingLLM-style sink+window eviction.
+
+The dense cache mirrors a standard HF cache; the streaming variant keeps
+only the first ``sinks`` tokens and the trailing ``window`` tokens, which is
+the sparse-attention option Klotski integrates (§7 "Compression") to bound
+multi-batch KV growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Sink + sliding-window retention policy."""
+
+    sinks: int = 4
+    window: int = 256
+
+    def __post_init__(self):
+        if self.sinks < 0 or self.window < 1:
+            raise ValueError("sinks must be >= 0 and window >= 1")
+
+
+class LayerKVCache:
+    """Per-layer cache of K and V with shape [kv_heads, seq, head_dim]."""
+
+    def __init__(
+        self,
+        num_kv_heads: int,
+        head_dim: int,
+        streaming: StreamingConfig | None = None,
+    ):
+        self.num_kv_heads = num_kv_heads
+        self.head_dim = head_dim
+        self.streaming = streaming
+        self._k = np.zeros((num_kv_heads, 0, head_dim))
+        self._v = np.zeros((num_kv_heads, 0, head_dim))
+        # Number of tokens ever appended (true positions for RoPE).
+        self.total_tokens = 0
+
+    def __len__(self) -> int:
+        return self._k.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        return self._k.nbytes + self._v.nbytes
+
+    def positions_for(self, new_tokens: int) -> np.ndarray:
+        """Absolute positions of the next ``new_tokens`` appended tokens."""
+        start = self.total_tokens
+        return np.arange(start, start + new_tokens)
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Append new K/V and return the full (possibly evicted) cache."""
+        if k.shape != v.shape:
+            raise ValueError("k and v must have identical shapes")
+        self._k = np.concatenate([self._k, k], axis=1)
+        self._v = np.concatenate([self._v, v], axis=1)
+        self.total_tokens += k.shape[1]
+        self._evict(min_keep=k.shape[1])
+        return self._k, self._v
+
+    def _evict(self, min_keep: int = 0) -> None:
+        if self.streaming is None:
+            return
+        # Never evict into the block just appended: its queries must still
+        # be able to attend to themselves (chunked-prefill behaviour).
+        keep = max(self.streaming.sinks + self.streaming.window, min_keep)
+        seq = self._k.shape[1]
+        if seq <= keep:
+            return
+        sinks = self.streaming.sinks
+        window = keep - sinks
+        self._k = np.concatenate([self._k[:, :sinks], self._k[:, seq - window :]], axis=1)
+        self._v = np.concatenate([self._v[:, :sinks], self._v[:, seq - window :]], axis=1)
+
+
+class ModelKVCache:
+    """One :class:`LayerKVCache` per layer of one sequence batch."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        num_kv_heads: int,
+        head_dim: int,
+        streaming: StreamingConfig | None = None,
+    ):
+        self.layers = [
+            LayerKVCache(num_kv_heads, head_dim, streaming) for _ in range(num_layers)
+        ]
+
+    def __getitem__(self, layer: int) -> LayerKVCache:
+        return self.layers[layer]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(layer.nbytes for layer in self.layers)
+
+    @property
+    def seq_len(self) -> int:
+        return len(self.layers[0]) if self.layers else 0

@@ -1,0 +1,91 @@
+"""Numpy building blocks of the MoE transformer.
+
+These are real numerical implementations (not stubs): RMSNorm, rotary
+position embeddings, grouped-query attention with an explicit KV cache, and
+softmax utilities. They run the small-scale functional models used in
+tests, examples, and for recording genuine routing traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Root-mean-square layer norm (as in Llama/Mixtral)."""
+    variance = np.mean(np.square(x), axis=-1, keepdims=True)
+    return x / np.sqrt(variance + eps) * weight
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    return x / (1.0 + np.exp(-x))
+
+
+def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
+    """Inverse frequencies for rotary embeddings."""
+    if head_dim % 2:
+        raise ValueError("head_dim must be even for RoPE")
+    return 1.0 / (base ** (np.arange(0, head_dim, 2) / head_dim))
+
+
+def apply_rope(x: np.ndarray, positions: np.ndarray, inv_freq: np.ndarray) -> np.ndarray:
+    """Rotate ``x`` of shape [..., seq, head_dim] by position-dependent angles."""
+    angles = positions[:, None] * inv_freq[None, :]  # [seq, head_dim/2]
+    cos, sin = np.cos(angles), np.sin(angles)
+    x1, x2 = x[..., 0::2], x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x1 * cos - x2 * sin
+    out[..., 1::2] = x1 * sin + x2 * cos
+    return out
+
+
+def causal_mask(q_len: int, kv_len: int) -> np.ndarray:
+    """[q_len, kv_len] additive mask; queries attend to kv positions <= own."""
+    offset = kv_len - q_len
+    q_pos = np.arange(q_len)[:, None] + offset
+    kv_pos = np.arange(kv_len)[None, :]
+    return np.where(kv_pos <= q_pos, 0.0, -np.inf)
+
+
+def sink_window_mask(q_len: int, kv_len: int, sinks: int, window: int) -> np.ndarray:
+    """StreamingLLM-style sparse mask: attend to the first ``sinks`` tokens
+    and a trailing ``window`` of neighbours, causally."""
+    mask = causal_mask(q_len, kv_len)
+    offset = kv_len - q_len
+    q_pos = np.arange(q_len)[:, None] + offset
+    kv_pos = np.arange(kv_len)[None, :]
+    in_window = kv_pos > (q_pos - window)
+    is_sink = kv_pos < sinks
+    return np.where(is_sink | in_window, mask, -np.inf)
+
+
+def grouped_query_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Attention with grouped KV heads.
+
+    Shapes: q ``[heads, q_len, head_dim]``, k/v ``[kv_heads, kv_len,
+    head_dim]``; returns ``[heads, q_len, head_dim]``.
+    """
+    num_heads, q_len, head_dim = q.shape
+    num_kv_heads = k.shape[0]
+    if num_heads % num_kv_heads:
+        raise ValueError("heads must be a multiple of kv heads")
+    group = num_heads // num_kv_heads
+    k_full = np.repeat(k, group, axis=0)
+    v_full = np.repeat(v, group, axis=0)
+    scores = q @ k_full.transpose(0, 2, 1) / np.sqrt(head_dim)
+    if mask is not None:
+        scores = scores + mask[None, :, :]
+    probs = softmax(scores, axis=-1)
+    return probs @ v_full

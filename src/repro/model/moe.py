@@ -1,0 +1,83 @@
+"""Numpy MoE layer: top-k gate plus expert FFNs.
+
+The gate computes routing weights with a softmax and activates the top-k
+experts per token (§2.1); the final output is the routing-weighted sum of
+the selected experts' outputs. Expert FFNs are SwiGLU (three matrices, as
+in Mixtral) or ReLU (two matrices, as in Switch/OPT) depending on the
+model config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.layers import silu, softmax
+
+
+@dataclass
+class ExpertWeights:
+    """One expert FFN. ``w3`` is None for two-matrix (ReLU) experts."""
+
+    w1: np.ndarray  # [hidden, intermediate]
+    w2: np.ndarray  # [intermediate, hidden]
+    w3: np.ndarray | None  # [hidden, intermediate] (SwiGLU gate proj)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.w3 is None:
+            return np.maximum(x @ self.w1, 0.0) @ self.w2
+        return (silu(x @ self.w1) * (x @ self.w3)) @ self.w2
+
+
+def top_k_gate(
+    logits: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Select top-k experts per token and their normalized routing weights.
+
+    Returns ``(experts [tokens, k], weights [tokens, k])``; experts are
+    ordered by descending routing weight (the primary expert first), and
+    the weights are the softmax over the selected logits, as in Mixtral.
+    """
+    if k < 1 or k > logits.shape[-1]:
+        raise ValueError("k out of range")
+    top = np.argpartition(-logits, k - 1, axis=-1)[:, :k]
+    top_logits = np.take_along_axis(logits, top, axis=-1)
+    order = np.argsort(-top_logits, axis=-1)
+    experts = np.take_along_axis(top, order, axis=-1)
+    weights = softmax(np.take_along_axis(logits, experts, axis=-1), axis=-1)
+    return experts, weights
+
+
+class MoELayer:
+    """Gate + experts; records per-token assignments when asked."""
+
+    def __init__(self, gate_weight: np.ndarray, gate_bias: np.ndarray, experts, top_k: int):
+        self.gate_weight = gate_weight  # [hidden, num_experts]
+        self.gate_bias = gate_bias  # [num_experts]
+        self.experts = list(experts)
+        self.top_k = top_k
+
+    @property
+    def num_experts(self) -> int:
+        return len(self.experts)
+
+    def route(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Routing for flattened tokens ``[tokens, hidden]``."""
+        logits = x @ self.gate_weight + self.gate_bias
+        return top_k_gate(logits, self.top_k)
+
+    def forward(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """MoE output and the expert assignments ``[tokens, k]``."""
+        tokens = x.reshape(-1, x.shape[-1])
+        experts, weights = self.route(tokens)
+        out = np.zeros_like(tokens)
+        for e in np.unique(experts):
+            token_idx, slot = np.nonzero(experts == e)
+            if token_idx.size == 0:
+                continue
+            expert_out = self.experts[int(e)].forward(tokens[token_idx])
+            out[token_idx] += weights[token_idx, slot][:, None] * expert_out
+        return out.reshape(x.shape), experts

@@ -1,0 +1,82 @@
+"""A deterministic toy tokenizer and synthetic corpus.
+
+Stands in for the wikitext sampling of the paper's setup: word-level
+hashing into a fixed vocabulary, plus a latent-topic corpus generator whose
+topic structure is what makes routing data-sensitive (different topics
+prefer different experts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class ToyTokenizer:
+    """Word-level tokenizer hashing into ``vocab_size`` ids.
+
+    Ids 0..3 are reserved: 0 = <pad>, 1 = <bos>, 2 = <eos>, 3 = <unk>.
+    """
+
+    PAD, BOS, EOS, UNK = 0, 1, 2, 3
+    RESERVED = 4
+
+    def __init__(self, vocab_size: int):
+        if vocab_size <= self.RESERVED:
+            raise ValueError("vocab_size must exceed reserved ids")
+        self.vocab_size = vocab_size
+
+    def token_id(self, word: str) -> int:
+        digest = hashlib.blake2b(word.lower().encode(), digest_size=8).digest()
+        return self.RESERVED + int.from_bytes(digest, "little") % (
+            self.vocab_size - self.RESERVED
+        )
+
+    def encode(self, text: str, *, add_bos: bool = True) -> np.ndarray:
+        ids = [self.token_id(w) for w in text.split()]
+        if add_bos:
+            ids = [self.BOS] + ids
+        return np.array(ids, dtype=np.int64)
+
+    def decode(self, ids) -> str:
+        words = []
+        for tid in np.asarray(ids).reshape(-1):
+            if tid == self.EOS:
+                break
+            if tid >= self.RESERVED:
+                words.append(f"w{int(tid)}")
+        return " ".join(words)
+
+
+def synthetic_corpus(
+    n_sequences: int,
+    seq_len: int,
+    vocab_size: int,
+    *,
+    num_topics: int = 4,
+    seed: int = 0,
+) -> np.ndarray:
+    """Token matrix ``[n_sequences, seq_len]`` from a latent-topic model.
+
+    Each sequence draws a topic; each topic owns a skewed distribution over
+    a vocabulary slice, so sequences from the same topic share token
+    statistics (the data sensitivity hot experts come from).
+    """
+    rng = np.random.default_rng(seed)
+    usable = vocab_size - ToyTokenizer.RESERVED
+    topic_of = rng.integers(0, num_topics, size=n_sequences)
+    out = np.empty((n_sequences, seq_len), dtype=np.int64)
+    for topic in range(num_topics):
+        rows = np.nonzero(topic_of == topic)[0]
+        if rows.size == 0:
+            continue
+        # A topic concentrates on a contiguous slice of the vocabulary.
+        lo = ToyTokenizer.RESERVED + (topic * usable) // num_topics
+        hi = ToyTokenizer.RESERVED + ((topic + 1) * usable) // num_topics
+        weights = rng.dirichlet(np.full(hi - lo, 0.3))
+        out[rows] = rng.choice(
+            np.arange(lo, hi), size=(rows.size, seq_len), p=weights
+        )
+    out[:, 0] = ToyTokenizer.BOS
+    return out

@@ -1,0 +1,30 @@
+"""Expert routing substrate: synthetic routers, traces, and workloads."""
+
+from repro.routing.oracle import LayerRouting, RoutingOracle, SyntheticOracle, TraceOracle
+from repro.routing.synthetic import RoutingModelConfig, SyntheticRouter
+from repro.routing.trace import (
+    ExpertTrace,
+    StepTrace,
+    activated_experts,
+    coverage,
+    expert_token_counts,
+    hot_experts,
+)
+from repro.routing.workload import Workload, paper_workload
+
+__all__ = [
+    "LayerRouting",
+    "RoutingOracle",
+    "SyntheticOracle",
+    "TraceOracle",
+    "RoutingModelConfig",
+    "SyntheticRouter",
+    "ExpertTrace",
+    "StepTrace",
+    "activated_experts",
+    "coverage",
+    "expert_token_counts",
+    "hot_experts",
+    "Workload",
+    "paper_workload",
+]

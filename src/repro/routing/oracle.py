@@ -1,0 +1,100 @@
+"""Routing oracles: the interface schedulers use to obtain expert routing.
+
+During simulation the scheduler needs, for every (step, layer), the expert
+assignment of each in-flight token. A :class:`RoutingOracle` provides that
+either from the synthetic router (full-scale benchmarks) or from a recorded
+trace of the real numpy model (functional tests, small-scale runs). Every
+scheduler in a comparison consumes the *same* oracle, so routing is held
+constant across systems.
+
+Prefill steps route ``batch_size * prompt_len`` tokens per batch; to keep
+simulation cheap the oracle samples at most ``prefill_token_cap`` tokens and
+reports a ``scale`` factor, which builders apply to token counts when
+costing expert computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.routing.synthetic import RoutingModelConfig, SyntheticRouter
+from repro.routing.trace import ExpertTrace
+from repro.routing.workload import Workload
+
+
+@dataclass(frozen=True)
+class LayerRouting:
+    """Routing of one layer at one step."""
+
+    layer: int
+    assignments: np.ndarray  # [n_tokens, top_k]
+    scale: float = 1.0  # token-count multiplier (prefill subsampling)
+
+    @property
+    def n_tokens(self) -> int:
+        return int(self.assignments.shape[0])
+
+
+class RoutingOracle:
+    """Base interface: iterate per-layer routing for each generation step."""
+
+    num_layers: int
+    num_experts: int
+    top_k: int
+
+    def step_routing(self, step: int, workload: Workload) -> Iterator[LayerRouting]:
+        raise NotImplementedError
+
+
+class SyntheticOracle(RoutingOracle):
+    """Oracle backed by :class:`SyntheticRouter`; deterministic per seed."""
+
+    def __init__(
+        self,
+        config: RoutingModelConfig,
+        *,
+        prefill_token_cap: int = 2048,
+        seed: int = 1234,
+    ):
+        self.router = SyntheticRouter(config)
+        self.num_layers = config.num_layers
+        self.num_experts = config.num_experts
+        self.top_k = config.top_k
+        self.prefill_token_cap = prefill_token_cap
+        self.seed = seed
+
+    def tokens_for_step(self, step: int, workload: Workload) -> tuple[int, float]:
+        """(sampled token count, scale) for one step across the batch group."""
+        if step == 0:
+            actual = workload.prefill_tokens
+            sampled = min(actual, self.prefill_token_cap)
+            return sampled, actual / sampled
+        return workload.total_sequences, 1.0
+
+    def step_routing(self, step: int, workload: Workload) -> Iterator[LayerRouting]:
+        n_tokens, scale = self.tokens_for_step(step, workload)
+        for layer, assignments in self.router.stream(
+            n_tokens, seed=self.seed * 100_003 + step
+        ):
+            yield LayerRouting(layer, assignments, scale)
+
+
+class TraceOracle(RoutingOracle):
+    """Oracle replaying a recorded :class:`ExpertTrace` (e.g. from the
+    numpy model), repeating the last step if the workload is longer."""
+
+    def __init__(self, trace: ExpertTrace, top_k: int):
+        if trace.num_steps == 0:
+            raise ValueError("empty trace")
+        self.trace = trace
+        self.num_layers = trace.steps[0].num_layers
+        self.num_experts = trace.num_experts
+        self.top_k = top_k
+
+    def step_routing(self, step: int, workload: Workload) -> Iterator[LayerRouting]:
+        src = self.trace.steps[min(step, self.trace.num_steps - 1)]
+        for layer, assignments in enumerate(src.assignments):
+            yield LayerRouting(layer, assignments, 1.0)

@@ -1,0 +1,80 @@
+"""JSON persistence for routing traces and correlation tables.
+
+The paper records warm-up expert selections "tabulated in JSON format"
+(§8) and deliberately does *not* persist online updates (so one task's
+tendencies cannot contaminate another, §6.2). These helpers provide that
+workflow: save a warm-up table/trace once, load it for later runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.prefetcher import CorrelationTable
+from repro.routing.trace import ExpertTrace, StepTrace
+
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: ExpertTrace) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "num_experts": trace.num_experts,
+        "steps": [
+            [assignment.tolist() for assignment in step.assignments]
+            for step in trace.steps
+        ],
+    }
+
+
+def trace_from_dict(data: dict) -> ExpertTrace:
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {data.get('version')!r}")
+    trace = ExpertTrace(num_experts=int(data["num_experts"]))
+    for step_data in data["steps"]:
+        step = StepTrace()
+        for assignment in step_data:
+            step.append(np.asarray(assignment, dtype=np.int64))
+        trace.append(step)
+    return trace
+
+
+def save_trace(trace: ExpertTrace, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: str | Path) -> ExpertTrace:
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def table_to_dict(table: CorrelationTable) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "num_layers": table.num_layers,
+        "num_experts": table.num_experts,
+        "path_length": table.path_length,
+        "marginal": table._marginal.tolist(),
+        "counts": table._counts.tolist(),
+    }
+
+
+def table_from_dict(data: dict) -> CorrelationTable:
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported table format version {data.get('version')!r}")
+    table = CorrelationTable(
+        int(data["num_layers"]), int(data["num_experts"]), int(data["path_length"])
+    )
+    table._marginal[:] = np.asarray(data["marginal"], dtype=np.float64)
+    table._counts[:] = np.asarray(data["counts"], dtype=np.float64)
+    return table
+
+
+def save_table(table: CorrelationTable, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(table_to_dict(table)))
+
+
+def load_table(path: str | Path) -> CorrelationTable:
+    return table_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,200 @@
+"""Synthetic routing generator with hot-expert skew and layer correlation.
+
+This substitutes for running a real Mixtral/Switch gate over real text: the
+scheduler only consumes routing decisions, and the statistical properties
+it exploits are explicit, tunable parameters here:
+
+* **per-layer hot-expert skew** (Figure 5) — Zipf popularity assigned to
+  experts through a per-layer permutation;
+* **inter-layer path correlation** (§6.2) — each token's primary expert
+  follows a fixed per-layer mapping of its previous expert with probability
+  ``correlation``, which is exactly the signal the correlation-aware
+  prefetcher learns;
+* **within-step concentration** (Figure 15a: "Active 5~8 experts") — the
+  tokens of one step share data characteristics, so each layer activates
+  only a popularity-biased *pool* of experts per step. Pool size is drawn
+  uniformly between ``min_active_fraction`` and ``max_active_fraction`` of
+  the expert count; for 8 experts the default reproduces the paper's 5-8
+  active experts.
+
+The token model: each token carries a latent primary-expert state. At layer
+``l`` the primary expert follows the Markov chain map with probability
+``correlation``, otherwise it resamples from the layer's (pool-restricted)
+popularity. Secondary experts (top-k > 1) are drawn from pool popularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.popularity import expected_topk_coverage, layer_popularity
+
+
+@dataclass(frozen=True)
+class RoutingModelConfig:
+    """Parameters of the synthetic routing process."""
+
+    num_layers: int
+    num_experts: int
+    top_k: int
+    skew: float = 1.1
+    correlation: float = 0.55
+    min_active_fraction: float = 0.625
+    max_active_fraction: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 1 <= self.top_k <= self.num_experts:
+            raise ValueError("top_k must be in [1, num_experts]")
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ValueError("correlation must be in [0, 1]")
+        if not 0.0 < self.min_active_fraction <= self.max_active_fraction <= 1.0:
+            raise ValueError("active fractions must satisfy 0 < min <= max <= 1")
+
+    def pool_bounds(self) -> tuple[int, int]:
+        """Smallest and largest per-step active pool sizes."""
+        lo = max(self.top_k, int(np.ceil(self.min_active_fraction * self.num_experts)))
+        hi = max(lo, int(np.ceil(self.max_active_fraction * self.num_experts)))
+        return lo, hi
+
+
+class SyntheticRouter:
+    """Samples per-layer expert assignments for streams of tokens."""
+
+    def __init__(self, config: RoutingModelConfig):
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.popularity = layer_popularity(
+            config.num_layers, config.num_experts, config.skew, rng
+        )
+        # Per-layer deterministic expert mapping used by the correlated
+        # component of the transition: previous primary expert e tends to
+        # imply expert chain_map[l][e] at layer l.
+        self.chain_map = np.stack(
+            [rng.permutation(config.num_experts) for _ in range(config.num_layers)]
+        )
+        self._rng = np.random.default_rng(config.seed + 1)
+
+    # ---- pools -----------------------------------------------------------------
+
+    def sample_pool(self, layer: int, rng: np.random.Generator) -> np.ndarray:
+        """Popularity-biased active-expert pool for one (step, layer).
+
+        The layer's top-k hottest experts are always in the pool: hot
+        experts are hot precisely because nearly every input routes some
+        tokens to them (this is what makes the paper's Figure 13 "green
+        line" sit at 100 % participation). The remaining slots are drawn
+        popularity-biased without replacement.
+        """
+        cfg = self.config
+        lo, hi = cfg.pool_bounds()
+        size = int(rng.integers(lo, hi + 1))
+        if size >= cfg.num_experts:
+            return np.arange(cfg.num_experts)
+        always = np.argsort(-self.popularity[layer])[: cfg.top_k]
+        logits = np.log(self.popularity[layer] + 1e-12)
+        logits[always] = np.inf  # guaranteed membership
+        gumbel = -np.log(-np.log(rng.random(logits.shape) + 1e-12) + 1e-12)
+        return np.sort(np.argpartition(-(logits + gumbel), size - 1)[:size])
+
+    def mean_pool_size(self) -> float:
+        lo, hi = self.config.pool_bounds()
+        return (lo + hi) / 2.0
+
+    def routing_stats(self, k: int) -> tuple[float, float]:
+        """(hot-coverage of k experts, expected distinct active experts)."""
+        coverage = float(
+            np.mean([expected_topk_coverage(row, k) for row in self.popularity])
+        )
+        return coverage, self.mean_pool_size()
+
+    # ---- sampling ----------------------------------------------------------------
+
+    def sample_layer(
+        self,
+        layer: int,
+        prev_primary: np.ndarray | None,
+        n_tokens: int,
+        rng: np.random.Generator | None = None,
+        pool: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Assignments ``[n_tokens, top_k]`` for one layer.
+
+        ``prev_primary`` is each token's primary expert at the previous
+        layer (None for the first layer); ``pool`` restricts routing to a
+        per-step active set (None = all experts active).
+        """
+        cfg = self.config
+        rng = rng or self._rng
+        if pool is None:
+            pool = np.arange(cfg.num_experts)
+        pool_pop = self.popularity[layer][pool]
+        pool_pop = pool_pop / pool_pop.sum()
+
+        primary = pool[self._sample_from_distribution(pool_pop, n_tokens, rng)]
+        if prev_primary is not None and cfg.correlation > 0:
+            chained = self.chain_map[layer][prev_primary]
+            follow = (rng.random(n_tokens) < cfg.correlation) & np.isin(chained, pool)
+            primary[follow] = chained[follow]
+        if cfg.top_k == 1:
+            return primary[:, None]
+        extras = self._sample_secondary(pool, pool_pop, primary, cfg.top_k - 1, rng)
+        return np.concatenate([primary[:, None], extras], axis=1)
+
+    def sample_step(
+        self, n_tokens: int, rng: np.random.Generator | None = None
+    ) -> list[np.ndarray]:
+        """Assignments for every layer of one generation step."""
+        rng = rng or self._rng
+        assignments: list[np.ndarray] = []
+        prev: np.ndarray | None = None
+        for layer in range(self.config.num_layers):
+            pool = self.sample_pool(layer, rng)
+            a = self.sample_layer(layer, prev, n_tokens, rng, pool)
+            assignments.append(a)
+            prev = a[:, 0]
+        return assignments
+
+    def stream(self, n_tokens: int, seed: int):
+        """Layer-by-layer generator, keeping only O(n_tokens) state."""
+        rng = np.random.default_rng(seed)
+        prev: np.ndarray | None = None
+        for layer in range(self.config.num_layers):
+            pool = self.sample_pool(layer, rng)
+            a = self.sample_layer(layer, prev, n_tokens, rng, pool)
+            prev = a[:, 0]
+            yield layer, a
+
+    # ---- helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def _sample_from_distribution(
+        pop: np.ndarray, n_tokens: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        cdf = np.cumsum(pop)
+        cdf[-1] = 1.0
+        return np.searchsorted(cdf, rng.random(n_tokens)).astype(np.int64)
+
+    @staticmethod
+    def _sample_secondary(
+        pool: np.ndarray,
+        pool_pop: np.ndarray,
+        primary: np.ndarray,
+        extra: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw ``extra`` distinct secondary experts per token (pool only).
+
+        Uses Gumbel top-k over pool popularity with the primary expert
+        masked out — vectorized, popularity-biased, distinct picks.
+        """
+        n_tokens = len(primary)
+        logits = np.log(pool_pop + 1e-12)[None, :].repeat(n_tokens, axis=0)
+        # Mask each token's primary expert (position within the pool).
+        pos = np.searchsorted(pool, primary)
+        logits[np.arange(n_tokens), pos] = -np.inf
+        gumbel = -np.log(-np.log(rng.random(logits.shape) + 1e-12) + 1e-12)
+        top = np.argpartition(-(logits + gumbel), extra - 1, axis=1)[:, :extra]
+        return pool[top].astype(np.int64)

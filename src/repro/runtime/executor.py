@@ -1,0 +1,117 @@
+"""Discrete-event execution of a schedule on simulated hardware.
+
+Each resource (GPU, CPU, PCIe direction, disk) runs its ops FIFO in issue
+order — the semantics of CUDA streams. An op starts when (a) its resource
+has finished everything issued before it and (b) all its dependencies have
+completed; this is exactly the `sync()` behaviour of the paper's
+Algorithm 1. Because issue order is a valid topological order (the schedule
+IR only allows backward deps), start/end times can be computed in a single
+pass.
+
+Memory effects are replayed in simulated-time order afterwards to produce
+per-pool usage timelines and detect capacity violations, reproducing where a
+real run would raise CUDA OOM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OutOfMemoryError
+from repro.hardware.spec import HardwareSpec
+from repro.runtime.schedule import RESOURCES, Schedule
+from repro.runtime.timeline import ExecutedOp, Timeline
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Execution options."""
+
+    check_memory: bool = True
+    # Pools whose capacity is enforced; DRAM/disk planning errors are
+    # placement bugs, VRAM overflow is the paper's OOM condition.
+    enforced_pools: tuple[str, ...] = ("vram",)
+
+
+class Executor:
+    """Runs schedules against a :class:`HardwareSpec`."""
+
+    def __init__(self, hardware: HardwareSpec, config: ExecutorConfig | None = None):
+        self.hardware = hardware
+        self.config = config or ExecutorConfig()
+
+    def run(self, schedule: Schedule, *, capacities: dict[str, int] | None = None) -> Timeline:
+        """Execute ``schedule``; returns the resulting :class:`Timeline`.
+
+        ``capacities`` overrides pool capacities (defaults to the hardware
+        spec's usable VRAM / DRAM / disk sizes).
+        """
+        schedule.validate()
+        available = {resource: 0.0 for resource in RESOURCES}
+        busy = {resource: 0.0 for resource in RESOURCES}
+        end_time: list[float] = []
+        executed: list[ExecutedOp] = []
+        makespan = 0.0
+
+        for op in schedule:
+            ready = available[op.resource]
+            for dep in op.deps:
+                dep_end = end_time[dep]
+                if dep_end > ready:
+                    ready = dep_end
+            finish = ready + op.duration
+            available[op.resource] = finish
+            busy[op.resource] += op.duration
+            end_time.append(finish)
+            executed.append(ExecutedOp(op, ready, finish))
+            if finish > makespan:
+                makespan = finish
+
+        usage, peaks = self._replay_memory(executed, capacities)
+        return Timeline(
+            executed=executed,
+            makespan=makespan,
+            busy_time=busy,
+            memory_usage=usage,
+            memory_peak=peaks,
+        )
+
+    def _replay_memory(
+        self,
+        executed: list[ExecutedOp],
+        capacities: dict[str, int] | None,
+    ) -> tuple[dict[str, list[tuple[float, int]]], dict[str, int]]:
+        if capacities is None:
+            capacities = {
+                "vram": self.hardware.usable_vram(),
+                "dram": self.hardware.dram_bytes,
+                "disk": self.hardware.disk_bytes,
+            }
+        events: list[tuple[float, int, str, int, str]] = []
+        for e in executed:
+            # Frees sort before allocs at identical times (free-then-alloc
+            # steady-state reuse should not double count).
+            for effect in e.op.frees:
+                events.append((e.end, 0, effect.pool, -effect.nbytes, e.op.label))
+            for effect in e.op.allocs:
+                events.append((e.start, 1, effect.pool, effect.nbytes, e.op.label))
+        events.sort(key=lambda ev: (ev[0], ev[1]))
+
+        usage: dict[str, list[tuple[float, int]]] = {}
+        current: dict[str, int] = {}
+        peaks: dict[str, int] = {}
+        for time, _, pool, delta, label in events:
+            level = current.get(pool, 0) + delta
+            current[pool] = level
+            usage.setdefault(pool, []).append((time, level))
+            if level > peaks.get(pool, 0):
+                peaks[pool] = level
+            capacity = capacities.get(pool)
+            if (
+                self.config.check_memory
+                and capacity is not None
+                and pool in self.config.enforced_pools
+                and level > capacity
+            ):
+                raise OutOfMemoryError(pool, delta, capacity - (level - delta))
+        return usage, peaks

@@ -1,0 +1,96 @@
+"""Inference metrics derived from executed timelines.
+
+The paper's headline metric is *throughput* — generated tokens divided by
+total generation time (prefill plus decode, §9.1) — alongside end-to-end
+latency, GPU utilization, and peak memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.schedule import GPU
+from repro.runtime.timeline import Timeline
+
+
+@dataclass(frozen=True)
+class InferenceMetrics:
+    """Summary of one inference run over a workload."""
+
+    system: str
+    model: str
+    environment: str
+    batch_size: int
+    num_batches: int
+    prompt_len: int
+    gen_len: int
+    total_time_s: float
+    prefill_time_s: float
+    decode_time_s: float
+    gpu_busy_s: float
+    gpu_idle_s: float
+    peak_vram_bytes: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def generated_tokens(self) -> int:
+        return self.batch_size * self.num_batches * self.gen_len
+
+    @property
+    def throughput(self) -> float:
+        """Generated tokens per second of total generation time."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.generated_tokens / self.total_time_s
+
+    @property
+    def latency_s(self) -> float:
+        return self.total_time_s
+
+    @property
+    def gpu_utilization(self) -> float:
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.gpu_busy_s / self.total_time_s
+
+    def summary(self) -> str:
+        return (
+            f"{self.system} on {self.model} ({self.environment}): "
+            f"{self.throughput:.2f} tok/s, latency {self.latency_s:.1f} s, "
+            f"GPU util {self.gpu_utilization:.0%}, "
+            f"peak VRAM {self.peak_vram_bytes / (1 << 30):.1f} GiB"
+        )
+
+
+def metrics_from_timeline(
+    timeline: Timeline,
+    *,
+    system: str,
+    model: str,
+    environment: str,
+    batch_size: int,
+    num_batches: int,
+    prompt_len: int,
+    gen_len: int,
+    prefill_time_s: float | None = None,
+    extras: dict | None = None,
+) -> InferenceMetrics:
+    """Assemble :class:`InferenceMetrics` from an executed timeline."""
+    total = timeline.makespan
+    prefill = prefill_time_s if prefill_time_s is not None else 0.0
+    return InferenceMetrics(
+        system=system,
+        model=model,
+        environment=environment,
+        batch_size=batch_size,
+        num_batches=num_batches,
+        prompt_len=prompt_len,
+        gen_len=gen_len,
+        total_time_s=total,
+        prefill_time_s=prefill,
+        decode_time_s=total - prefill,
+        gpu_busy_s=timeline.busy_time.get(GPU, 0.0),
+        gpu_idle_s=timeline.idle_time(GPU),
+        peak_vram_bytes=timeline.memory_peak.get("vram", 0),
+        extras=extras or {},
+    )

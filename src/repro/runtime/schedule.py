@@ -1,0 +1,148 @@
+"""Schedule IR: the op DAG that schedulers hand to the executor.
+
+A :class:`Schedule` is an ordered list of :class:`Op` nodes. Each op runs on
+one named resource (``gpu``, ``cpu``, ``h2d``, ``d2h``, ``disk``); ops on the
+same resource execute FIFO in issue order, which models CUDA streams: the
+four streams of the paper's implementation (§8 — weight prefetch, on-demand
+expert transfer, KV-cache load, KV-cache store) map to issue order on the
+``h2d``/``d2h`` resources, and ``sync()`` points become dependency edges.
+
+Ops carry optional memory effects (allocations applied at op start, frees at
+op end) so the executor can reconstruct pool usage over simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import ScheduleError
+
+GPU = "gpu"
+CPU = "cpu"
+H2D = "h2d"  # weight-prefetch stream
+H2D_OD = "h2d2"  # on-demand expert transfer stream (paper §8's 2nd stream)
+D2H = "d2h"
+DISK_IO = "disk"
+RESOURCES = (GPU, CPU, H2D, H2D_OD, D2H, DISK_IO)
+
+# Phases used for bubble attribution.
+PHASE_ATTENTION = "attention"
+PHASE_GATE = "gate"
+PHASE_EXPERT = "expert"
+PHASE_TRANSFER = "transfer"
+PHASE_KV = "kv"
+PHASE_OTHER = "other"
+
+
+@dataclass(frozen=True)
+class MemEffect:
+    """A memory-pool side effect of an op."""
+
+    pool: str
+    tensor_id: str
+    nbytes: int  # ignored for frees
+
+
+@dataclass
+class Op:
+    """One unit of simulated work."""
+
+    op_id: int
+    resource: str
+    duration: float
+    label: str
+    deps: tuple[int, ...] = ()
+    layer: int = -1
+    phase: str = PHASE_OTHER
+    batch: int = -1
+    allocs: tuple[MemEffect, ...] = ()
+    frees: tuple[MemEffect, ...] = ()
+
+    def __post_init__(self):
+        if self.resource not in RESOURCES:
+            raise ScheduleError(f"unknown resource {self.resource!r}")
+        if self.duration < 0:
+            raise ScheduleError("op duration must be non-negative")
+
+
+class Schedule:
+    """An append-only, dependency-checked op list."""
+
+    def __init__(self):
+        self._ops: list[Op] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self._ops)
+
+    def __getitem__(self, idx: int) -> Op:
+        return self._ops[idx]
+
+    @property
+    def ops(self) -> list[Op]:
+        return self._ops
+
+    def add(
+        self,
+        resource: str,
+        duration: float,
+        label: str,
+        *,
+        deps: Iterable[int] = (),
+        layer: int = -1,
+        phase: str = PHASE_OTHER,
+        batch: int = -1,
+        allocs: Iterable[MemEffect] = (),
+        frees: Iterable[MemEffect] = (),
+    ) -> int:
+        """Append an op and return its id (usable as a dependency)."""
+        op_id = len(self._ops)
+        dep_tuple = tuple(sorted(set(deps)))
+        for dep in dep_tuple:
+            if not 0 <= dep < op_id:
+                raise ScheduleError(
+                    f"op {op_id} ({label}) depends on unknown op {dep}"
+                )
+        self._ops.append(
+            Op(
+                op_id=op_id,
+                resource=resource,
+                duration=duration,
+                label=label,
+                deps=dep_tuple,
+                layer=layer,
+                phase=phase,
+                batch=batch,
+                allocs=tuple(allocs),
+                frees=tuple(frees),
+            )
+        )
+        return op_id
+
+    def compute(self, duration: float, label: str, **kw) -> int:
+        return self.add(GPU, duration, label, **kw)
+
+    def cpu_compute(self, duration: float, label: str, **kw) -> int:
+        return self.add(CPU, duration, label, **kw)
+
+    def transfer_in(self, duration: float, label: str, *, on_demand: bool = False, **kw) -> int:
+        kw.setdefault("phase", PHASE_TRANSFER)
+        return self.add(H2D_OD if on_demand else H2D, duration, label, **kw)
+
+    def transfer_out(self, duration: float, label: str, **kw) -> int:
+        kw.setdefault("phase", PHASE_TRANSFER)
+        return self.add(D2H, duration, label, **kw)
+
+    def disk_read(self, duration: float, label: str, **kw) -> int:
+        kw.setdefault("phase", PHASE_TRANSFER)
+        return self.add(DISK_IO, duration, label, **kw)
+
+    def validate(self) -> None:
+        """Check dependency sanity (ids are checked on add; re-verify)."""
+        for op in self._ops:
+            for dep in op.deps:
+                if dep >= op.op_id:
+                    raise ScheduleError(f"op {op.op_id} has forward dep {dep}")

@@ -1,0 +1,81 @@
+"""Executed timelines: per-op start/end times plus derived statistics."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.runtime.schedule import GPU, Op
+
+
+@dataclass(frozen=True)
+class ExecutedOp:
+    """An op together with its simulated start and end times."""
+
+    op: Op
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class IdleGap:
+    """A period in which a resource sat idle between two of its ops."""
+
+    resource: str
+    start: float
+    end: float
+    before_op: ExecutedOp  # the op whose start terminated the gap
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """The result of executing a schedule."""
+
+    executed: list[ExecutedOp]
+    makespan: float
+    busy_time: dict[str, float]
+    memory_usage: dict[str, list[tuple[float, int]]]
+    memory_peak: dict[str, int]
+
+    def ops_on(self, resource: str) -> list[ExecutedOp]:
+        return sorted(
+            (e for e in self.executed if e.op.resource == resource),
+            key=lambda e: (e.start, e.op.op_id),
+        )
+
+    def idle_gaps(self, resource: str = GPU, *, min_duration: float = 1e-9) -> list[IdleGap]:
+        """Idle periods of ``resource`` between its first and last op."""
+        ops = self.ops_on(resource)
+        gaps: list[IdleGap] = []
+        frontier = None
+        for executed in ops:
+            if frontier is not None and executed.start - frontier > min_duration:
+                gaps.append(IdleGap(resource, frontier, executed.start, executed))
+            frontier = executed.end if frontier is None else max(frontier, executed.end)
+        return gaps
+
+    def idle_time(self, resource: str = GPU) -> float:
+        return sum(g.duration for g in self.idle_gaps(resource))
+
+    def utilization(self, resource: str = GPU) -> float:
+        """Busy fraction of the resource over the whole makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.busy_time.get(resource, 0.0) / self.makespan
+
+    def memory_at(self, pool: str, time: float) -> int:
+        """Pool usage at a given simulated time (step function lookup)."""
+        samples = self.memory_usage.get(pool, [])
+        if not samples:
+            return 0
+        times = [t for t, _ in samples]
+        idx = bisect_right(times, time) - 1
+        return samples[idx][1] if idx >= 0 else 0

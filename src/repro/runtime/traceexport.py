@@ -1,0 +1,66 @@
+"""Export executed timelines to the Chrome tracing format.
+
+The resulting JSON loads in ``chrome://tracing`` / Perfetto, giving the
+interactive equivalent of the paper's Figure 15 pipeline plots: one lane
+per simulated resource (GPU, the two H2D streams, D2H, disk), ops colored
+by phase.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.runtime.schedule import RESOURCES
+from repro.runtime.timeline import Timeline
+
+# Stable pid/tid assignment so lanes sort in pipeline order.
+_LANE = {resource: i for i, resource in enumerate(RESOURCES)}
+
+_PHASE_COLORS = {
+    "attention": "thread_state_running",
+    "gate": "thread_state_runnable",
+    "expert": "thread_state_iowait",
+    "transfer": "rail_load",
+    "kv": "rail_idle",
+}
+
+
+def timeline_to_chrome_trace(timeline: Timeline, *, time_unit_us: bool = True) -> dict:
+    """Convert a timeline to a Chrome trace event dict."""
+    scale = 1e6 if time_unit_us else 1e3
+    events = [
+        {
+            "name": resource,
+            "ph": "M",
+            "pid": 0,
+            "tid": _LANE[resource],
+            "args": {"name": resource},
+        }
+        for resource in RESOURCES
+    ]
+    # thread_name metadata records must use the reserved name.
+    for meta in events:
+        meta["name"] = "thread_name"
+    for executed in timeline.executed:
+        op = executed.op
+        event = {
+            "name": op.label,
+            "cat": op.phase,
+            "ph": "X",
+            "ts": executed.start * scale,
+            "dur": max(executed.duration * scale, 0.001),
+            "pid": 0,
+            "tid": _LANE[op.resource],
+            "args": {"layer": op.layer, "batch": op.batch, "phase": op.phase},
+        }
+        color = _PHASE_COLORS.get(op.phase)
+        if color:
+            event["cname"] = color
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(timeline: Timeline, path: str | Path) -> None:
+    """Write the timeline as a ``chrome://tracing`` JSON file."""
+    Path(path).write_text(json.dumps(timeline_to_chrome_trace(timeline)))

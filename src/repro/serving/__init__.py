@@ -1,0 +1,19 @@
+"""Serving layer: request streams, batching, and SLA metrics."""
+
+from repro.serving.requests import ArrivalConfig, Request, generate_requests
+from repro.serving.server import (
+    BatchingConfig,
+    CompletedRequest,
+    Server,
+    ServingReport,
+)
+
+__all__ = [
+    "ArrivalConfig",
+    "Request",
+    "generate_requests",
+    "BatchingConfig",
+    "CompletedRequest",
+    "Server",
+    "ServingReport",
+]

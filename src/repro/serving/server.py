@@ -1,0 +1,161 @@
+"""Serving-layer simulation: request stream -> batch groups -> pipeline.
+
+Forms batch groups from an incoming request stream (FIFO batching with a
+wait-time bound), dispatches each group to an inference system, and tracks
+per-request latency. This exercises Klotski's throughput-oriented design
+under serving conditions: larger groups amortize weight I/O but delay early
+requests — exactly the throughput/latency trade-off of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.routing.workload import Workload
+from repro.scenario import Scenario
+from repro.serving.requests import Request
+from repro.systems import InferenceSystem
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Group-formation policy."""
+
+    batch_size: int = 8
+    group_batches: int = 4  # n: batches per dispatched group
+    max_wait_s: float = 60.0  # dispatch a partial group after this wait
+
+    def __post_init__(self):
+        if self.batch_size < 1 or self.group_batches < 1:
+            raise ValueError("batch_size and group_batches must be >= 1")
+        if self.max_wait_s <= 0:
+            raise ValueError("max_wait_s must be positive")
+
+    @property
+    def group_capacity(self) -> int:
+        return self.batch_size * self.group_batches
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    request: Request
+    dispatch_s: float
+    completion_s: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.completion_s - self.request.arrival_s
+
+    @property
+    def queueing_s(self) -> float:
+        return self.dispatch_s - self.request.arrival_s
+
+
+@dataclass
+class ServingReport:
+    """Aggregate serving metrics."""
+
+    completed: list[CompletedRequest] = field(default_factory=list)
+    busy_s: float = 0.0
+    makespan_s: float = 0.0
+
+    def latencies(self) -> np.ndarray:
+        return np.array([c.latency_s for c in self.completed])
+
+    def percentile_latency(self, q: float) -> float:
+        if not self.completed:
+            return 0.0
+        return float(np.percentile(self.latencies(), q))
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.completed:
+            return 0.0
+        return float(self.latencies().mean())
+
+    @property
+    def throughput(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        generated = sum(c.request.gen_len for c in self.completed)
+        return generated / self.makespan_s
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.completed)} requests, {self.throughput:.2f} tok/s, "
+            f"mean latency {self.mean_latency_s:.1f} s, "
+            f"p95 {self.percentile_latency(95):.1f} s"
+        )
+
+
+class Server:
+    """Serial dispatch of batch groups to one inference system."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        system: InferenceSystem,
+        batching: BatchingConfig | None = None,
+    ):
+        self.scenario = scenario
+        self.system = system
+        self.batching = batching or BatchingConfig()
+        # Group processing times are memoized by (n_batches, prompt, gen):
+        # the simulated machine is deterministic per scenario seed.
+        self._group_time_cache: dict[tuple[int, int, int], float] = {}
+
+    def _group_time(self, n_batches: int, prompt_len: int, gen_len: int) -> float:
+        key = (n_batches, prompt_len, gen_len)
+        if key not in self._group_time_cache:
+            workload = Workload(
+                self.batching.batch_size, n_batches, prompt_len, gen_len
+            )
+            result = self.system.run(self.scenario.with_workload(workload))
+            self._group_time_cache[key] = result.metrics.total_time_s
+        return self._group_time_cache[key]
+
+    def simulate(self, requests: list[Request]) -> ServingReport:
+        """Process a request stream; returns per-request and aggregate
+        metrics. Groups are dispatched when full or when the oldest queued
+        request has waited ``max_wait_s``."""
+        report = ServingReport()
+        queue: list[Request] = []
+        pending = sorted(requests, key=lambda r: r.arrival_s)
+        machine_free = 0.0
+        capacity = self.batching.group_capacity
+        idx = 0
+
+        def dispatch(now: float) -> float:
+            nonlocal machine_free
+            group = queue[:capacity]
+            del queue[:capacity]
+            n_batches = max(1, -(-len(group) // self.batching.batch_size))
+            prompt = max(r.prompt_len for r in group)
+            gen = max(r.gen_len for r in group)
+            start = max(now, machine_free)
+            duration = self._group_time(n_batches, prompt, gen)
+            machine_free = start + duration
+            for request in group:
+                report.completed.append(
+                    CompletedRequest(request, start, machine_free)
+                )
+            report.busy_s += duration
+            return machine_free
+
+        while idx < len(pending) or queue:
+            if idx < len(pending):
+                queue.append(pending[idx])
+                now = pending[idx].arrival_s
+                idx += 1
+            else:
+                now = max(machine_free, queue[0].arrival_s + self.batching.max_wait_s)
+            while queue and (
+                len(queue) >= capacity
+                or (idx >= len(pending))
+                or now - queue[0].arrival_s >= self.batching.max_wait_s
+            ):
+                dispatch(now)
+        report.makespan_s = machine_free
+        return report

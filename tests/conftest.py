@@ -1,0 +1,100 @@
+"""Shared fixtures: small models, hardware, and scenarios for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.spec import GB, GiB, ComputeSpec, HardwareSpec, LinkSpec
+from repro.model.config import ModelConfig
+from repro.routing.workload import Workload
+from repro.scenario import Scenario
+
+TINY_MOE = ModelConfig(
+    name="tiny-moe",
+    hidden_size=64,
+    intermediate_size=128,
+    num_layers=4,
+    num_heads=4,
+    num_kv_heads=2,
+    num_experts=4,
+    top_k=2,
+    vocab_size=256,
+)
+
+TINY_DENSE = ModelConfig(
+    name="tiny-dense",
+    hidden_size=64,
+    intermediate_size=128,
+    num_layers=4,
+    num_heads=4,
+    num_kv_heads=4,
+    num_experts=1,
+    top_k=1,
+    vocab_size=256,
+    ffn_matrices=2,
+)
+
+# A mid-size MoE whose weights do NOT fit the small GPU below, forcing real
+# offloading decisions without full Mixtral-scale op counts.
+SMALL_MIXTRAL = ModelConfig(
+    name="small-mixtral",
+    hidden_size=1024,
+    intermediate_size=3584,
+    num_layers=8,
+    num_heads=16,
+    num_kv_heads=4,
+    num_experts=8,
+    top_k=2,
+    vocab_size=8192,
+)
+
+
+def small_hardware() -> HardwareSpec:
+    """A machine proportioned like Env1 but sized for SMALL_MIXTRAL."""
+    return HardwareSpec(
+        name="small-env",
+        gpu=ComputeSpec("small-gpu", 4e12, 100 * GB, kernel_overhead_s=100e-6),
+        cpu=ComputeSpec("small-cpu", 0.1e12, 10 * GB, kernel_overhead_s=5e-6),
+        vram_bytes=1 * GiB,
+        dram_bytes=32 * GiB,
+        disk_bytes=200 * GB,
+        pcie_h2d=LinkSpec("h2d", 2 * GB),
+        pcie_d2h=LinkSpec("d2h", 2 * GB),
+        disk_link=LinkSpec("disk", 0.5 * GB, latency_s=80e-6),
+    )
+
+
+@pytest.fixture
+def tiny_moe() -> ModelConfig:
+    return TINY_MOE
+
+
+@pytest.fixture
+def tiny_dense() -> ModelConfig:
+    return TINY_DENSE
+
+
+@pytest.fixture
+def small_mixtral() -> ModelConfig:
+    return SMALL_MIXTRAL
+
+
+@pytest.fixture
+def hw() -> HardwareSpec:
+    return small_hardware()
+
+
+@pytest.fixture
+def small_workload() -> Workload:
+    return Workload(batch_size=4, num_batches=3, prompt_len=32, gen_len=4)
+
+
+@pytest.fixture
+def small_scenario(small_mixtral, hw, small_workload) -> Scenario:
+    return Scenario(small_mixtral, hw, small_workload, seed=3)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

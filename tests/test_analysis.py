@@ -1,0 +1,144 @@
+"""Bubble analysis, plotting helpers, and result grids."""
+
+import math
+
+import pytest
+
+from repro.analysis.bubbles import analyze_bubbles, block_time
+from repro.analysis.plots import bar_chart, render_timeline, series_table
+from repro.analysis.reporting import ResultGrid, improvement_factor
+from repro.runtime.executor import Executor
+from repro.runtime.schedule import PHASE_ATTENTION, PHASE_EXPERT, Schedule
+from tests.test_executor import make_hw
+
+
+@pytest.fixture
+def executor():
+    return Executor(make_hw())
+
+
+class TestBubbleAnalysis:
+    def test_intra_layer_bubble_classified(self, executor):
+        s = Schedule()
+        s.compute(1.0, "e1", phase=PHASE_EXPERT, layer=0)
+        w = s.transfer_in(3.0, "w")
+        s.compute(1.0, "e2", deps=[w], phase=PHASE_EXPERT, layer=0)
+        report = analyze_bubbles(executor.run(s))
+        assert report.intra_layer == pytest.approx(2.0)
+        assert report.inter_layer == 0.0
+
+    def test_inter_layer_bubble_classified(self, executor):
+        s = Schedule()
+        s.compute(1.0, "e", phase=PHASE_EXPERT, layer=0)
+        w = s.transfer_in(4.0, "w")
+        s.compute(1.0, "a", deps=[w], phase=PHASE_ATTENTION, layer=1)
+        report = analyze_bubbles(executor.run(s))
+        assert report.inter_layer == pytest.approx(3.0)
+        assert report.intra_layer == 0.0
+
+    def test_bubble_fraction(self, executor):
+        s = Schedule()
+        s.compute(1.0, "a", phase=PHASE_ATTENTION)
+        w = s.transfer_in(2.0, "w")
+        s.compute(1.0, "b", deps=[w], phase=PHASE_ATTENTION)
+        report = analyze_bubbles(executor.run(s))
+        assert report.bubble_fraction == pytest.approx(1.0 / 3.0)
+        assert "bubbles" in report.summary()
+
+    def test_bubble_free_pipeline(self, executor):
+        s = Schedule()
+        s.compute(1.0, "a", phase=PHASE_ATTENTION)
+        s.compute(1.0, "b", phase=PHASE_EXPERT)
+        report = analyze_bubbles(executor.run(s))
+        assert report.total_bubbles == 0.0
+
+    def test_block_time_spans_layer_ops(self, executor):
+        s = Schedule()
+        s.compute(1.0, "attn:L0b0s0", phase=PHASE_ATTENTION, layer=0)
+        s.compute(2.0, "exp0:L0s0", phase=PHASE_EXPERT, layer=0)
+        s.compute(1.0, "attn:L1b0s0", phase=PHASE_ATTENTION, layer=1)
+        t = executor.run(s)
+        assert block_time(t, layer=0) == pytest.approx(3.0)
+        assert block_time(t, layer=0, step=0) == pytest.approx(3.0)
+        assert block_time(t, layer=5) == 0.0
+
+
+class TestPlots:
+    def test_bar_chart_renders_all_rows(self):
+        out = bar_chart({"klotski": 20.0, "flexgen": 10.0})
+        assert "klotski" in out and "flexgen" in out
+        assert out.count("\n") == 1
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_series_table_layout(self):
+        out = series_table("bs", [4, 8], {"sys": [1.0, 2.0]})
+        assert "bs" in out and "sys" in out
+        assert len(out.splitlines()) == 4
+
+    def test_series_table_nan_renders_oom(self):
+        out = series_table("bs", [4], {"sys": [float("nan")]})
+        assert "OOM" in out
+
+    def test_render_timeline_window(self, executor):
+        s = Schedule()
+        s.compute(1.0, "a", phase=PHASE_ATTENTION)
+        s.transfer_in(1.0, "w")
+        t = executor.run(s)
+        out = render_timeline(t, start=0.0, end=1.0, width=20)
+        assert "gpu" in out and "h2d" in out
+        assert "a" in out and "t" in out
+
+
+class TestResultGrid:
+    def test_add_and_get(self):
+        grid = ResultGrid("t", "bs")
+        grid.add("klotski", 4, 10.0)
+        assert grid.get("klotski", 4) == 10.0
+        assert math.isnan(grid.get("klotski", 8))
+
+    def test_oom_cells(self):
+        grid = ResultGrid("t", "bs")
+        grid.add_oom("fiddler", 64)
+        assert math.isnan(grid.get("fiddler", 64))
+        assert "OOM" in grid.render()
+
+    def test_speedup_over_baseline(self):
+        grid = ResultGrid("t", "bs")
+        for x, v in [(4, 10.0), (8, 30.0)]:
+            grid.add("klotski", x, v)
+        for x, v in [(4, 5.0), (8, 3.0)]:
+            grid.add("accelerate", x, v)
+        assert grid.speedup("klotski", "accelerate") == pytest.approx(10.0)
+
+    def test_render_contains_all(self):
+        grid = ResultGrid("Throughput", "bs")
+        grid.add("a", 4, 1.234)
+        grid.add("b", 4, 5.678)
+        out = grid.render()
+        assert "Throughput" in out and "1.23" in out and "5.68" in out
+
+    def test_json_roundtrip(self):
+        import json
+
+        grid = ResultGrid("t", "bs")
+        grid.add("a", 4, 1.0)
+        grid.add_oom("b", 4)
+        data = json.loads(grid.to_json())
+        assert data["rows"]["a"] == [1.0]
+        assert data["rows"]["b"] == [None]
+
+    def test_systems_preserve_insertion_order(self):
+        grid = ResultGrid("t", "bs")
+        grid.add("z", 1, 1.0)
+        grid.add("a", 1, 1.0)
+        assert grid.systems() == ["z", "a"]
+
+
+class TestImprovementFactor:
+    def test_ratio(self):
+        assert improvement_factor(20.0, 10.0) == 2.0
+
+    def test_zero_baseline(self):
+        assert improvement_factor(5.0, 0.0) == math.inf

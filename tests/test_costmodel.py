@@ -1,0 +1,111 @@
+"""Cost model: layer timings derived from shapes and hardware rates."""
+
+import pytest
+
+from repro.hardware.costmodel import CostModel, OpCost
+from repro.hardware.spec import ENV1, ENV2
+from repro.model.config import MIXTRAL_8X7B, MIXTRAL_8X22B, OPT_1_3B
+
+
+@pytest.fixture
+def cm():
+    return CostModel(MIXTRAL_8X7B, ENV1)
+
+
+class TestOpCost:
+    def test_merged_sums_components(self):
+        a = OpCost(1.0, 2.0, 3)
+        b = OpCost(10.0, 20.0, 30)
+        m = a.merged(b)
+        assert (m.flops, m.bytes_moved, m.kernels) == (11.0, 22.0, 33)
+
+
+class TestComputeCosts:
+    def test_attention_flops_scale_with_tokens(self, cm):
+        c1 = cm.attention_cost(4, 1, 512)
+        c2 = cm.attention_cost(8, 1, 512)
+        assert c2.flops > c1.flops
+
+    def test_attention_kv_bytes_grow_with_context(self, cm):
+        short = cm.attention_cost(4, 1, 128)
+        long = cm.attention_cost(4, 1, 2048)
+        assert long.bytes_moved > short.bytes_moved
+
+    def test_prefill_dominates_decode(self, cm):
+        prefill = cm.t_c_A(4, 512, 512)
+        decode = cm.t_c_A(4, 1, 512)
+        assert prefill > decode
+
+    def test_expert_cost_has_weight_floor(self, cm):
+        one = cm.expert_cost(1)
+        assert one.bytes_moved >= MIXTRAL_8X7B.expert_bytes()
+
+    def test_expert_time_grows_with_tokens(self, cm):
+        assert cm.t_c_E(10_000) > cm.t_c_E(10)
+
+    def test_gate_cheaper_than_expert(self, cm):
+        assert cm.t_c_G(16, 1) < cm.t_c_E(16)
+
+    def test_gpu_faster_than_cpu(self, cm):
+        cost = cm.expert_cost(64)
+        assert cm.gpu_time(cost) < cm.cpu_time(cost)
+
+
+class TestTransferCosts:
+    def test_whole_moe_layer_slowest(self, cm):
+        assert cm.t_io_MoE() > cm.t_io_E() > cm.t_io_G()
+
+    def test_moe_layer_equals_gate_plus_experts(self, cm):
+        direct = cm.t_io_MoE()
+        composed = cm.transfer_time(
+            MIXTRAL_8X7B.gate_bytes() + 8 * MIXTRAL_8X7B.expert_bytes(), "dram", "vram"
+        )
+        assert direct == pytest.approx(composed)
+
+    def test_pinned_memory_speedup(self, cm):
+        assert cm.t_io_E(pinned=True) < cm.t_io_E(pinned=False)
+
+    def test_pinned_only_affects_pcie(self, cm):
+        nbytes = 1 << 20
+        assert cm.transfer_time(nbytes, "disk", "dram", pinned=True) == pytest.approx(
+            cm.transfer_time(nbytes, "disk", "dram", pinned=False)
+        )
+
+    def test_quantization_bytes_factor_shrinks_io(self, cm):
+        assert cm.t_io_E(bytes_factor=0.28) < 0.4 * cm.t_io_E()
+
+    def test_env2_transfers_faster(self):
+        cm1 = CostModel(MIXTRAL_8X22B, ENV1)
+        cm2 = CostModel(MIXTRAL_8X22B, ENV2)
+        assert cm2.t_io_E() < cm1.t_io_E()
+
+    def test_disk_slower_than_pcie(self, cm):
+        nbytes = 100 << 20
+        assert cm.transfer_time(nbytes, "disk", "dram") > cm.transfer_time(
+            nbytes, "dram", "vram"
+        )
+
+
+class TestPaperTimings:
+    """Planner-facing timings reproduce the paper's motivating relations."""
+
+    def test_single_expert_io_exceeds_attention_compute(self, cm):
+        # §1: 21 ms expert transfer vs 2.6 ms attention compute at bs=16.
+        assert cm.t_io_E() > 5 * cm.t_c_A(16, 1, 512)
+
+    def test_expert_io_exceeds_expert_compute_decode(self, cm):
+        # §3.1: even perfect prefetching leaves bubbles in decode.
+        assert cm.t_io_E() > cm.t_c_E(32)
+
+    def test_dense_ffn_io_compute_gap_smaller(self):
+        # Table 1 rationale: dense models overlap better because their FFN
+        # is reused by every token of the batch.
+        dense = CostModel(OPT_1_3B, ENV1)
+        moe = CostModel(MIXTRAL_8X7B, ENV1)
+        dense_ratio = dense.t_io_E() / dense.t_c_E(4 * 512)
+        moe_ratio = moe.t_io_E() / moe.t_c_E(4 * 512 // 8)
+        assert dense_ratio < moe_ratio
+
+    def test_dequant_cost_small_but_positive(self, cm):
+        t = cm.gpu_time(cm.dequant_cost(MIXTRAL_8X7B.expert_bytes()))
+        assert 0 < t < cm.t_io_E()

@@ -1,0 +1,118 @@
+"""KlotskiEngine and the baseline systems on the small scenario."""
+
+import pytest
+
+from repro.baselines import (
+    AccelerateSystem,
+    FastGenSystem,
+    FiddlerSystem,
+    FlexGenSystem,
+    MixtralOffloadingSystem,
+    MoEInfinitySystem,
+)
+from repro.core.engine import KlotskiEngine, KlotskiOptions, KlotskiSystem
+from repro.core.pipeline import PipelineFeatures
+
+
+class TestKlotskiEngine:
+    def test_plan_then_run(self, small_scenario):
+        engine = KlotskiEngine(small_scenario)
+        plan = engine.plan()
+        assert plan.n >= 1
+        result = engine.run(n=2)
+        assert result.metrics.throughput > 0
+        assert result.metrics.num_batches == 2
+
+    def test_default_run_uses_planned_n(self, small_scenario):
+        engine = KlotskiEngine(small_scenario)
+        plan = engine.plan()
+        result = engine.run()
+        assert result.metrics.num_batches == plan.n
+
+    def test_metrics_fields(self, small_scenario):
+        result = KlotskiEngine(small_scenario).run(n=2)
+        m = result.metrics
+        assert m.generated_tokens == 2 * 4 * small_scenario.workload.gen_len
+        assert m.total_time_s > m.prefill_time_s > 0
+        assert 0 < m.gpu_utilization <= 1
+        assert m.peak_vram_bytes > 0
+
+    def test_quantized_variant_faster_when_io_bound(self, small_scenario):
+        plain = KlotskiEngine(small_scenario).run(n=3)
+        quant = KlotskiEngine(
+            small_scenario, KlotskiOptions(quantize=True)
+        ).run(n=3)
+        assert quant.metrics.throughput > plain.metrics.throughput
+
+    def test_prefetch_stats_collected(self, small_scenario):
+        result = KlotskiEngine(small_scenario).run(n=3)
+        stats = result.prefetcher.stats
+        assert stats.participation_rate().mean() > 0.8
+
+    def test_system_names(self):
+        assert KlotskiSystem().name == "klotski"
+        assert KlotskiSystem(KlotskiOptions(quantize=True)).name == "klotski(q)"
+
+
+class TestAblationFeatures:
+    """Table 3: each mechanism adds throughput."""
+
+    def run_with(self, scenario, n, features):
+        options = KlotskiOptions(features=features)
+        system = KlotskiSystem(options, name="ablation")
+        wl = scenario.workload.with_batches(n)
+        return system.run(scenario.with_workload(wl)).metrics.throughput
+
+    def test_multi_batch_dominates(self, small_scenario):
+        simple = self.run_with(
+            small_scenario, 1, PipelineFeatures.simple_pipeline()
+        )
+        multi = self.run_with(
+            small_scenario, 3, PipelineFeatures(hot_prefetch=False, adjust_order=False)
+        )
+        assert multi > 1.5 * simple
+
+    def test_full_klotski_best(self, small_scenario):
+        multi = self.run_with(
+            small_scenario, 3, PipelineFeatures(hot_prefetch=False, adjust_order=False)
+        )
+        klotski = self.run_with(small_scenario, 3, PipelineFeatures())
+        assert klotski >= multi * 0.98  # never meaningfully worse
+
+
+class TestBaselines:
+    @pytest.mark.parametrize(
+        "system_cls",
+        [
+            AccelerateSystem,
+            FastGenSystem,
+            FlexGenSystem,
+            MoEInfinitySystem,
+            FiddlerSystem,
+            MixtralOffloadingSystem,
+        ],
+    )
+    def test_baseline_runs(self, small_scenario, system_cls):
+        result = system_cls().run_safe(small_scenario)
+        assert result.oom or result.throughput > 0
+
+    def test_klotski_beats_sequential_baselines(self, small_scenario):
+        klotski = KlotskiEngine(small_scenario).run(n=3).metrics.throughput
+        accelerate = AccelerateSystem().run_safe(small_scenario)
+        assert accelerate.metrics is not None
+        assert klotski > 2 * accelerate.throughput
+
+    def test_fastgen_beats_accelerate(self, small_scenario):
+        """Overlap alone is a strict improvement over synchronous loading."""
+        fastgen = FastGenSystem().run_safe(small_scenario).throughput
+        accelerate = AccelerateSystem().run_safe(small_scenario).throughput
+        assert fastgen > accelerate
+
+    def test_flexgen_close_to_klotski_but_not_better(self, small_scenario):
+        klotski = KlotskiEngine(small_scenario).run(n=3).metrics.throughput
+        flexgen = FlexGenSystem().run_safe(small_scenario).throughput
+        assert flexgen <= klotski * 1.02
+
+    def test_sequential_flag_shapes(self):
+        assert AccelerateSystem.sequential
+        assert not FlexGenSystem.sequential

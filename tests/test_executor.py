@@ -1,0 +1,175 @@
+"""Discrete-event executor: stream semantics, deps, memory replay."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.hardware.spec import GB, GiB, ComputeSpec, HardwareSpec, LinkSpec
+from repro.runtime.executor import Executor, ExecutorConfig
+from repro.runtime.schedule import GPU, H2D, MemEffect, Schedule
+
+
+def make_hw() -> HardwareSpec:
+    return HardwareSpec(
+        name="t",
+        gpu=ComputeSpec("g", 1e12, 1e12, 0),
+        cpu=ComputeSpec("c", 1e11, 1e11, 0),
+        vram_bytes=1 * GiB,
+        dram_bytes=8 * GiB,
+        disk_bytes=100 * GB,
+        pcie_h2d=LinkSpec("h2d", 1 * GB, 0),
+        pcie_d2h=LinkSpec("d2h", 1 * GB, 0),
+        disk_link=LinkSpec("disk", 1 * GB, 0),
+        vram_usable_fraction=1.0,
+    )
+
+
+@pytest.fixture
+def executor():
+    return Executor(make_hw())
+
+
+class TestStreamSemantics:
+    def test_same_resource_serializes(self, executor):
+        s = Schedule()
+        s.compute(1.0, "a")
+        s.compute(1.0, "b")
+        t = executor.run(s)
+        assert t.executed[0].end == pytest.approx(1.0)
+        assert t.executed[1].start == pytest.approx(1.0)
+        assert t.makespan == pytest.approx(2.0)
+
+    def test_different_resources_overlap(self, executor):
+        s = Schedule()
+        s.compute(1.0, "a")
+        s.transfer_in(1.0, "w")
+        t = executor.run(s)
+        assert t.makespan == pytest.approx(1.0)
+
+    def test_dependency_delays_start(self, executor):
+        s = Schedule()
+        w = s.transfer_in(2.0, "w")
+        s.compute(1.0, "c", deps=[w])
+        t = executor.run(s)
+        assert t.executed[1].start == pytest.approx(2.0)
+        assert t.makespan == pytest.approx(3.0)
+
+    def test_head_of_line_blocking(self, executor):
+        """A FIFO stream op waiting on a dep blocks later ops on the stream."""
+        s = Schedule()
+        slow = s.compute(5.0, "slow")
+        s.transfer_in(1.0, "blocked", deps=[slow])
+        s.transfer_in(1.0, "behind")
+        t = executor.run(s)
+        behind = t.executed[2]
+        assert behind.start == pytest.approx(6.0)
+
+    def test_diamond_dependency(self, executor):
+        s = Schedule()
+        a = s.compute(1.0, "a")
+        b = s.transfer_in(3.0, "b", deps=[a])
+        c = s.compute(1.0, "c", deps=[a])
+        d = s.compute(1.0, "d", deps=[b, c])
+        t = executor.run(s)
+        assert t.executed[d].start == pytest.approx(4.0)
+
+    def test_busy_time_per_resource(self, executor):
+        s = Schedule()
+        s.compute(1.5, "a")
+        s.transfer_in(0.5, "b")
+        t = executor.run(s)
+        assert t.busy_time[GPU] == pytest.approx(1.5)
+        assert t.busy_time[H2D] == pytest.approx(0.5)
+
+    def test_empty_schedule(self, executor):
+        t = executor.run(Schedule())
+        assert t.makespan == 0.0
+        assert t.executed == []
+
+
+class TestIdleAnalysis:
+    def test_idle_gap_between_ops(self, executor):
+        s = Schedule()
+        w = s.transfer_in(2.0, "w")
+        s.compute(1.0, "a")
+        s.compute(1.0, "b", deps=[w])
+        t = executor.run(s)
+        gaps = t.idle_gaps(GPU)
+        assert len(gaps) == 1
+        assert gaps[0].duration == pytest.approx(1.0)
+        assert t.idle_time(GPU) == pytest.approx(1.0)
+
+    def test_no_gap_when_back_to_back(self, executor):
+        s = Schedule()
+        s.compute(1.0, "a")
+        s.compute(1.0, "b")
+        t = executor.run(s)
+        assert t.idle_gaps(GPU) == []
+
+    def test_utilization(self, executor):
+        s = Schedule()
+        w = s.transfer_in(3.0, "w")
+        s.compute(1.0, "c", deps=[w])
+        t = executor.run(s)
+        assert t.utilization(GPU) == pytest.approx(0.25)
+
+
+class TestMemoryReplay:
+    def test_alloc_at_start_free_at_end(self, executor):
+        s = Schedule()
+        s.transfer_in(
+            1.0, "w", allocs=[MemEffect("vram", "t", 100)]
+        )
+        c = s.compute(1.0, "c", deps=[0], frees=[MemEffect("vram", "t", 100)])
+        t = executor.run(s)
+        assert t.memory_peak["vram"] == 100
+        assert t.memory_at("vram", 0.5) == 100
+        assert t.memory_at("vram", 2.5) == 0
+
+    def test_free_before_alloc_at_same_time(self, executor):
+        """Steady-state reuse should not double count at time boundaries."""
+        s = Schedule()
+        s.compute(1.0, "a", allocs=[MemEffect("vram", "x", 600 << 20)])
+        s.compute(
+            1.0,
+            "b",
+            deps=[0],
+            frees=[MemEffect("vram", "x", 600 << 20)],
+        )
+        s.compute(1.0, "c", deps=[1], allocs=[MemEffect("vram", "y", 600 << 20)])
+        t = executor.run(s)  # peak stays at 600 MiB < 1 GiB
+        assert t.memory_peak["vram"] == 600 << 20
+
+    def test_vram_overflow_raises(self, executor):
+        s = Schedule()
+        s.compute(1.0, "a", allocs=[MemEffect("vram", "x", 2 << 30)])
+        with pytest.raises(OutOfMemoryError):
+            executor.run(s)
+
+    def test_dram_not_enforced_by_default(self, executor):
+        s = Schedule()
+        s.compute(1.0, "a", allocs=[MemEffect("dram", "x", 100 << 30)])
+        t = executor.run(s)  # records usage, no raise
+        assert t.memory_peak["dram"] == 100 << 30
+
+    def test_check_memory_disabled(self):
+        ex = Executor(make_hw(), ExecutorConfig(check_memory=False))
+        s = Schedule()
+        s.compute(1.0, "a", allocs=[MemEffect("vram", "x", 2 << 30)])
+        t = ex.run(s)
+        assert t.memory_peak["vram"] == 2 << 30
+
+    def test_capacity_override(self, executor):
+        s = Schedule()
+        s.compute(1.0, "a", allocs=[MemEffect("vram", "x", 100)])
+        with pytest.raises(OutOfMemoryError):
+            executor.run(s, capacities={"vram": 50})
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self, executor):
+        s = Schedule()
+        w = s.transfer_in(2.0, "w")
+        s.compute(1.0, "c", deps=[w])
+        t1 = executor.run(s)
+        t2 = executor.run(s)
+        assert [e.start for e in t1.executed] == [e.start for e in t2.executed]

@@ -1,0 +1,92 @@
+"""KV cache: growth, positions, and streaming eviction."""
+
+import numpy as np
+import pytest
+
+from repro.model.kvcache import LayerKVCache, ModelKVCache, StreamingConfig
+
+
+def kv(seq, heads=2, dim=4, fill=None, rng=None):
+    if rng is not None:
+        return rng.normal(size=(heads, seq, dim))
+    return np.full((heads, seq, dim), 0.0 if fill is None else fill)
+
+
+class TestLayerKVCache:
+    def test_append_grows(self, rng):
+        cache = LayerKVCache(2, 4)
+        cache.append(kv(3, rng=rng), kv(3, rng=rng))
+        cache.append(kv(1, rng=rng), kv(1, rng=rng))
+        assert len(cache) == 4
+        assert cache.total_tokens == 4
+
+    def test_positions_monotonic(self):
+        cache = LayerKVCache(2, 4)
+        assert list(cache.positions_for(3)) == [0, 1, 2]
+        cache.append(kv(3), kv(3))
+        assert list(cache.positions_for(2)) == [3, 4]
+
+    def test_mismatched_shapes_rejected(self):
+        cache = LayerKVCache(2, 4)
+        with pytest.raises(ValueError):
+            cache.append(kv(2), kv(3))
+
+    def test_nbytes_grows(self, rng):
+        cache = LayerKVCache(2, 4)
+        cache.append(kv(2, rng=rng), kv(2, rng=rng))
+        before = cache.nbytes
+        cache.append(kv(2, rng=rng), kv(2, rng=rng))
+        assert cache.nbytes == 2 * before
+
+    def test_returns_full_cache(self, rng):
+        cache = LayerKVCache(2, 4)
+        k1, v1 = kv(2, fill=1.0), kv(2, fill=1.0)
+        k_all, v_all = cache.append(k1, v1)
+        assert k_all.shape[1] == 2
+
+
+class TestStreamingEviction:
+    def test_eviction_keeps_sinks_and_window(self):
+        cache = LayerKVCache(1, 2, StreamingConfig(sinks=2, window=3))
+        k = np.arange(10, dtype=float).reshape(1, 10, 1).repeat(2, axis=2)
+        # A freshly appended block is never evicted into (chunked prefill);
+        # the next (decode) append triggers eviction.
+        cache.append(k, k.copy())
+        assert len(cache) == 10
+        kept, _ = cache.append(np.full((1, 1, 2), 10.0), np.full((1, 1, 2), 10.0))
+        # Sinks are positions 0,1; window is the last 3 tokens (8,9,10).
+        assert len(cache) == 5
+        assert list(kept[0, :, 0]) == [0.0, 1.0, 8.0, 9.0, 10.0]
+
+    def test_no_eviction_below_limit(self):
+        cache = LayerKVCache(1, 2, StreamingConfig(sinks=2, window=8))
+        cache.append(kv(5, heads=1, dim=2), kv(5, heads=1, dim=2))
+        assert len(cache) == 5
+
+    def test_total_tokens_counts_evicted(self):
+        cache = LayerKVCache(1, 2, StreamingConfig(sinks=1, window=2))
+        cache.append(kv(10, heads=1, dim=2), kv(10, heads=1, dim=2))
+        cache.append(kv(1, heads=1, dim=2), kv(1, heads=1, dim=2))
+        assert cache.total_tokens == 11
+        assert len(cache) == 3
+
+    def test_streaming_config_validation(self):
+        with pytest.raises(ValueError):
+            StreamingConfig(sinks=-1)
+        with pytest.raises(ValueError):
+            StreamingConfig(window=0)
+
+
+class TestModelKVCache:
+    def test_per_layer_independence(self, rng):
+        cache = ModelKVCache(3, 2, 4)
+        cache[0].append(kv(2, rng=rng), kv(2, rng=rng))
+        assert len(cache[0]) == 2
+        assert len(cache[1]) == 0
+
+    def test_seq_len_and_nbytes(self, rng):
+        cache = ModelKVCache(2, 2, 4)
+        for layer in range(2):
+            cache[layer].append(kv(3, rng=rng), kv(3, rng=rng))
+        assert cache.seq_len == 3
+        assert cache.nbytes == 2 * cache[0].nbytes

@@ -1,0 +1,133 @@
+"""Numpy layer primitives: norms, RoPE, masks, attention."""
+
+import numpy as np
+import pytest
+
+from repro.model.layers import (
+    apply_rope,
+    causal_mask,
+    grouped_query_attention,
+    rms_norm,
+    rope_frequencies,
+    silu,
+    sink_window_mask,
+    softmax,
+)
+
+
+class TestNorms:
+    def test_rms_norm_unit_scale(self, rng):
+        x = rng.normal(0, 10, (3, 8))
+        out = rms_norm(x, np.ones(8))
+        rms = np.sqrt(np.mean(out**2, axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-3)
+
+    def test_rms_norm_weight_applied(self, rng):
+        x = rng.normal(size=(2, 4))
+        w = np.array([1.0, 2.0, 3.0, 4.0])
+        assert np.allclose(rms_norm(x, w), rms_norm(x, np.ones(4)) * w)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = rng.normal(0, 5, (4, 7))
+        assert np.allclose(softmax(x).sum(axis=-1), 1.0)
+
+    def test_softmax_stable_for_large_values(self):
+        x = np.array([[1e6, 1e6 + 1.0]])
+        out = softmax(x)
+        assert np.all(np.isfinite(out))
+        assert out[0, 1] > out[0, 0]
+
+    def test_silu_matches_definition(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.allclose(silu(x), x / (1 + np.exp(-x)))
+
+
+class TestRope:
+    def test_frequencies_shape_and_monotonic(self):
+        freqs = rope_frequencies(8)
+        assert freqs.shape == (4,)
+        assert np.all(np.diff(freqs) < 0)
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            rope_frequencies(7)
+
+    def test_rotation_preserves_norm(self, rng):
+        x = rng.normal(size=(2, 5, 8))
+        rotated = apply_rope(x, np.arange(5), rope_frequencies(8))
+        assert np.allclose(
+            np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1)
+        )
+
+    def test_position_zero_is_identity(self, rng):
+        x = rng.normal(size=(1, 1, 8))
+        rotated = apply_rope(x, np.array([0]), rope_frequencies(8))
+        assert np.allclose(rotated, x)
+
+    def test_relative_position_property(self, rng):
+        """Dot products depend only on relative positions."""
+        freqs = rope_frequencies(16)
+        q = rng.normal(size=(1, 1, 16))
+        k = rng.normal(size=(1, 1, 16))
+        d1 = apply_rope(q, np.array([5]), freqs) @ apply_rope(
+            k, np.array([3]), freqs
+        ).transpose(0, 2, 1)
+        d2 = apply_rope(q, np.array([12]), freqs) @ apply_rope(
+            k, np.array([10]), freqs
+        ).transpose(0, 2, 1)
+        assert np.allclose(d1, d2, atol=1e-9)
+
+
+class TestMasks:
+    def test_causal_mask_square(self):
+        m = causal_mask(3, 3)
+        assert m[0, 1] == -np.inf and m[1, 0] == 0.0 and m[2, 2] == 0.0
+
+    def test_causal_mask_with_cache_offset(self):
+        m = causal_mask(1, 5)  # decode: one query, full history visible
+        assert np.all(m == 0.0)
+
+    def test_sink_window_keeps_sinks(self):
+        m = sink_window_mask(1, 100, sinks=4, window=8)
+        assert np.all(m[0, :4] == 0.0)  # sinks visible
+        assert np.all(m[0, 100 - 8 :] == 0.0)  # window visible
+        assert np.all(m[0, 4 : 100 - 8] == -np.inf)  # middle masked
+
+    def test_sink_window_stays_causal(self):
+        m = sink_window_mask(5, 5, sinks=2, window=3)
+        causal = causal_mask(5, 5)
+        assert np.all(m[causal == -np.inf] == -np.inf)
+
+
+class TestGroupedQueryAttention:
+    def test_output_shape(self, rng):
+        q = rng.normal(size=(4, 3, 8))
+        k = rng.normal(size=(2, 6, 8))
+        v = rng.normal(size=(2, 6, 8))
+        out = grouped_query_attention(q, k, v)
+        assert out.shape == (4, 3, 8)
+
+    def test_equals_mha_when_heads_match(self, rng):
+        q = rng.normal(size=(2, 3, 8))
+        k = rng.normal(size=(2, 3, 8))
+        v = rng.normal(size=(2, 3, 8))
+        out = grouped_query_attention(q, k, v)
+        # Manual per-head attention.
+        for h in range(2):
+            scores = q[h] @ k[h].T / np.sqrt(8)
+            ref = softmax(scores) @ v[h]
+            assert np.allclose(out[h], ref)
+
+    def test_head_grouping_validated(self, rng):
+        q = rng.normal(size=(3, 1, 8))
+        kv = rng.normal(size=(2, 1, 8))
+        with pytest.raises(ValueError):
+            grouped_query_attention(q, kv, kv)
+
+    def test_masked_positions_ignored(self, rng):
+        q = rng.normal(size=(1, 1, 8))
+        k = rng.normal(size=(1, 3, 8))
+        v = rng.normal(size=(1, 3, 8))
+        mask = np.array([[0.0, -np.inf, -np.inf]])
+        out = grouped_query_attention(q, k, v, mask)
+        assert np.allclose(out[0, 0], v[0, 0])  # only position 0 attended

@@ -1,0 +1,108 @@
+"""Memory pools and the three-level hierarchy."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.hardware.memory import DRAM, VRAM, MemoryHierarchy, MemoryPool
+from repro.hardware.spec import ENV1
+
+
+class TestMemoryPool:
+    def test_alloc_and_free_roundtrip(self):
+        pool = MemoryPool("vram", 100)
+        pool.alloc("a", 60)
+        assert pool.used == 60
+        assert pool.free == 40
+        assert pool.free_tensor("a") == 60
+        assert pool.used == 0
+
+    def test_oom_raises_with_details(self):
+        pool = MemoryPool("vram", 100)
+        pool.alloc("a", 80)
+        with pytest.raises(OutOfMemoryError) as err:
+            pool.alloc("b", 30)
+        assert err.value.pool == "vram"
+        assert err.value.requested == 30
+        assert err.value.available == 20
+
+    def test_oom_leaves_state_unchanged(self):
+        pool = MemoryPool("vram", 100)
+        pool.alloc("a", 80)
+        with pytest.raises(OutOfMemoryError):
+            pool.alloc("b", 30)
+        assert pool.used == 80
+        assert not pool.contains("b")
+
+    def test_double_alloc_rejected(self):
+        pool = MemoryPool("p", 100)
+        pool.alloc("a", 10)
+        with pytest.raises(ValueError):
+            pool.alloc("a", 10)
+
+    def test_free_unknown_rejected(self):
+        pool = MemoryPool("p", 100)
+        with pytest.raises(KeyError):
+            pool.free_tensor("ghost")
+
+    def test_peak_tracks_high_water_mark(self):
+        pool = MemoryPool("p", 100)
+        pool.alloc("a", 70)
+        pool.free_tensor("a")
+        pool.alloc("b", 30)
+        assert pool.peak == 70
+        assert pool.used == 30
+
+    def test_usage_timeline_records_events(self):
+        pool = MemoryPool("p", 100)
+        pool.alloc("a", 10, time=1.0)
+        pool.free_tensor("a", time=2.0)
+        assert pool.usage_timeline == [(1.0, 10), (2.0, 0)]
+
+    def test_negative_alloc_rejected(self):
+        pool = MemoryPool("p", 100)
+        with pytest.raises(ValueError):
+            pool.alloc("a", -1)
+
+    def test_zero_capacity_pool(self):
+        pool = MemoryPool("p", 0)
+        with pytest.raises(OutOfMemoryError):
+            pool.alloc("a", 1)
+        pool.alloc("b", 0)  # zero-byte allocs are fine
+
+    def test_live_tensors_and_reset(self):
+        pool = MemoryPool("p", 100)
+        pool.alloc("a", 10)
+        pool.alloc("b", 20)
+        assert sorted(pool.live_tensors()) == ["a", "b"]
+        pool.reset()
+        assert pool.used == 0
+        assert pool.live_tensors() == []
+
+
+class TestMemoryHierarchy:
+    def test_from_spec_sizes(self):
+        h = MemoryHierarchy.from_spec(ENV1)
+        assert h.vram.capacity == ENV1.usable_vram()
+        assert h.dram.capacity == ENV1.dram_bytes
+        assert h.disk.capacity == ENV1.disk_bytes
+
+    def test_location_lookup(self):
+        h = MemoryHierarchy.from_spec(ENV1)
+        h.dram.alloc("expert.0.1", 100)
+        assert h.location_of("expert.0.1") == DRAM
+        assert h.location_of("missing") is None
+
+    def test_pool_accessor_and_total(self):
+        h = MemoryHierarchy.from_spec(ENV1)
+        h.pool(VRAM).alloc("x", 5)
+        h.pool(DRAM).alloc("y", 7)
+        assert h.total_used() == 12
+        with pytest.raises(KeyError):
+            h.pool("l2")
+
+    def test_reset_clears_all_levels(self):
+        h = MemoryHierarchy.from_spec(ENV1)
+        h.vram.alloc("x", 5)
+        h.disk.alloc("y", 5)
+        h.reset()
+        assert h.total_used() == 0

@@ -1,0 +1,107 @@
+"""MoE layer: gating, expert FFNs, and weighted mixing."""
+
+import numpy as np
+import pytest
+
+from repro.model.layers import softmax
+from repro.model.moe import ExpertWeights, MoELayer, top_k_gate
+
+
+def make_expert(hidden, inter, rng, swiglu=True):
+    return ExpertWeights(
+        w1=rng.normal(size=(hidden, inter)) * 0.1,
+        w2=rng.normal(size=(inter, hidden)) * 0.1,
+        w3=rng.normal(size=(hidden, inter)) * 0.1 if swiglu else None,
+    )
+
+
+class TestTopKGate:
+    def test_selects_largest_logits(self):
+        logits = np.array([[0.1, 3.0, 0.2, 2.0]])
+        experts, weights = top_k_gate(logits, 2)
+        assert set(experts[0]) == {1, 3}
+
+    def test_primary_first(self):
+        logits = np.array([[0.1, 3.0, 0.2, 2.0]])
+        experts, _ = top_k_gate(logits, 2)
+        assert experts[0, 0] == 1  # highest logit first
+
+    def test_weights_softmax_over_selected(self):
+        logits = np.array([[0.0, 2.0, 1.0]])
+        _, weights = top_k_gate(logits, 2)
+        expected = softmax(np.array([[2.0, 1.0]]))
+        assert np.allclose(weights, expected)
+
+    def test_weights_sum_to_one(self, rng):
+        logits = rng.normal(size=(50, 8))
+        _, weights = top_k_gate(logits, 2)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_k_bounds_checked(self, rng):
+        logits = rng.normal(size=(2, 4))
+        with pytest.raises(ValueError):
+            top_k_gate(logits, 0)
+        with pytest.raises(ValueError):
+            top_k_gate(logits, 5)
+
+    def test_top1_is_argmax(self, rng):
+        logits = rng.normal(size=(20, 6))
+        experts, weights = top_k_gate(logits, 1)
+        assert np.array_equal(experts[:, 0], logits.argmax(axis=1))
+        assert np.allclose(weights, 1.0)
+
+    def test_distinct_experts_per_token(self, rng):
+        logits = rng.normal(size=(100, 8))
+        experts, _ = top_k_gate(logits, 3)
+        for row in experts:
+            assert len(set(row)) == 3
+
+
+class TestExpertWeights:
+    def test_swiglu_forward_shape(self, rng):
+        e = make_expert(8, 16, rng)
+        out = e.forward(rng.normal(size=(5, 8)))
+        assert out.shape == (5, 8)
+
+    def test_relu_expert(self, rng):
+        e = make_expert(8, 16, rng, swiglu=False)
+        x = rng.normal(size=(3, 8))
+        ref = np.maximum(x @ e.w1, 0) @ e.w2
+        assert np.allclose(e.forward(x), ref)
+
+
+class TestMoELayer:
+    @pytest.fixture
+    def layer(self, rng):
+        experts = [make_expert(8, 16, rng) for _ in range(4)]
+        gate = rng.normal(size=(8, 4))
+        return MoELayer(gate, np.zeros(4), experts, top_k=2)
+
+    def test_output_shape_preserved(self, layer, rng):
+        x = rng.normal(size=(2, 3, 8))
+        out, assignments = layer.forward(x)
+        assert out.shape == x.shape
+        assert assignments.shape == (6, 2)
+
+    def test_output_is_weighted_expert_sum(self, layer, rng):
+        x = rng.normal(size=(1, 8))
+        out, _ = layer.forward(x)
+        experts, weights = layer.route(x)
+        expected = sum(
+            weights[0, i] * layer.experts[experts[0, i]].forward(x)
+            for i in range(2)
+        )
+        assert np.allclose(out, expected)
+
+    def test_gate_bias_steers_routing(self, rng):
+        experts = [make_expert(8, 16, rng) for _ in range(4)]
+        bias = np.array([0.0, 0.0, 50.0, 0.0])  # expert 2 overwhelmingly hot
+        layer = MoELayer(rng.normal(size=(8, 4)) * 0.01, bias, experts, top_k=1)
+        x = rng.normal(size=(20, 8))
+        _, assignments = layer.forward(x)
+        assert np.all(assignments[:, 0] == 2)
+
+    def test_assignments_within_range(self, layer, rng):
+        _, assignments = layer.forward(rng.normal(size=(30, 8)))
+        assert assignments.min() >= 0
+        assert assignments.max() < 4

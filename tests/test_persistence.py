@@ -1,0 +1,95 @@
+"""JSON persistence of traces and correlation tables."""
+
+import numpy as np
+import pytest
+
+from repro.core.prefetcher import CorrelationTable
+from repro.routing.persistence import (
+    load_table,
+    load_trace,
+    save_table,
+    save_trace,
+    table_from_dict,
+    table_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.routing.synthetic import RoutingModelConfig, SyntheticRouter
+from repro.routing.trace import ExpertTrace, StepTrace
+
+
+def make_trace(steps=2, tokens=16) -> ExpertTrace:
+    router = SyntheticRouter(RoutingModelConfig(4, 8, 2, seed=3))
+    trace = ExpertTrace(8)
+    rng = np.random.default_rng(0)
+    for _ in range(steps):
+        step = StepTrace()
+        for a in router.sample_step(tokens, rng):
+            step.append(a)
+        trace.append(step)
+    return trace
+
+
+class TestTracePersistence:
+    def test_roundtrip_file(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.num_experts == trace.num_experts
+        assert loaded.num_steps == trace.num_steps
+        for a, b in zip(trace.steps, loaded.steps):
+            for x, y in zip(a.assignments, b.assignments):
+                assert np.array_equal(x, y)
+
+    def test_popularity_preserved(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        assert np.allclose(load_trace(path).popularity(), trace.popularity())
+
+    def test_version_check(self):
+        data = trace_to_dict(make_trace())
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            trace_from_dict(data)
+
+
+class TestTablePersistence:
+    def make_table(self) -> CorrelationTable:
+        table = CorrelationTable(4, 8)
+        trace = make_trace()
+        for step in trace.steps:
+            table.record_step(step.assignments)
+        return table
+
+    def test_roundtrip_file(self, tmp_path):
+        table = self.make_table()
+        path = tmp_path / "table.json"
+        save_table(table, path)
+        loaded = load_table(path)
+        assert np.allclose(loaded._marginal, table._marginal)
+        assert np.allclose(loaded._counts, table._counts)
+
+    def test_predictions_identical_after_load(self, tmp_path):
+        table = self.make_table()
+        path = tmp_path / "table.json"
+        save_table(table, path)
+        loaded = load_table(path)
+        history = np.array([[0], [1], [2]])
+        for layer in range(4):
+            assert loaded.predict_hot(layer, history, 2) == table.predict_hot(
+                layer, history, 2
+            )
+
+    def test_version_check(self):
+        data = table_to_dict(self.make_table())
+        data["version"] = 0
+        with pytest.raises(ValueError):
+            table_from_dict(data)
+
+    def test_path_length_preserved(self, tmp_path):
+        table = CorrelationTable(3, 4, path_length=2)
+        path = tmp_path / "t.json"
+        save_table(table, path)
+        assert load_table(path).path_length == 2

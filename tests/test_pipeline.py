@@ -1,0 +1,214 @@
+"""The expert-aware multi-batch pipeline builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PipelineBuilder, PipelineFeatures
+from repro.core.placement import PlacementConfig, plan_placement
+from repro.core.prefetcher import ExpertPrefetcher
+from repro.hardware.costmodel import CostModel
+from repro.model.tensors import TensorInventory
+from repro.runtime.executor import Executor
+from repro.runtime.schedule import (
+    CPU,
+    D2H,
+    GPU,
+    H2D,
+    PHASE_ATTENTION,
+    PHASE_EXPERT,
+    PHASE_GATE,
+)
+
+
+def build(
+    scenario,
+    features=None,
+    prefetcher=None,
+    placement_config=None,
+    workload=None,
+):
+    wl = workload or scenario.workload
+    features = features or PipelineFeatures()
+    placement_config = placement_config or PlacementConfig(
+        prefetch_k=(
+            scenario.model.top_k if features.hot_prefetch else scenario.model.num_experts
+        )
+    )
+    placement = plan_placement(
+        scenario.inventory(), scenario.hardware, wl, wl.num_batches, placement_config
+    )
+    builder = PipelineBuilder(
+        cost_model=CostModel(scenario.model, scenario.hardware),
+        inventory=scenario.inventory(),
+        oracle=scenario.make_oracle(),
+        workload=wl,
+        placement=placement,
+        prefetcher=prefetcher,
+        features=features,
+    )
+    return builder.build(), placement
+
+
+class TestScheduleStructure:
+    def test_schedule_validates(self, small_scenario):
+        result, _ = build(small_scenario)
+        result.schedule.validate()
+        assert len(result.schedule) > 0
+
+    def test_one_tail_op_per_step(self, small_scenario):
+        result, _ = build(small_scenario)
+        assert len(result.step_last_op) == small_scenario.workload.gen_len
+
+    def test_attention_op_per_batch_per_layer(self, small_scenario):
+        result, _ = build(small_scenario)
+        wl = small_scenario.workload
+        attn_ops = [
+            op for op in result.schedule
+            if op.phase == PHASE_ATTENTION and op.resource == GPU
+        ]
+        expected = wl.num_batches * small_scenario.model.num_layers * wl.gen_len
+        assert len(attn_ops) == expected
+
+    def test_gate_ops_present_for_moe(self, small_scenario):
+        result, _ = build(small_scenario)
+        assert any(op.phase == PHASE_GATE for op in result.schedule)
+
+    def test_dense_model_has_no_gates(self, tiny_dense, hw):
+        from repro.routing.workload import Workload
+        from repro.scenario import Scenario
+
+        sc = Scenario(tiny_dense, hw, Workload(2, 2, 8, 2))
+        result, _ = build(sc)
+        assert not any(op.phase == PHASE_GATE for op in result.schedule)
+        assert any(op.phase == PHASE_EXPERT for op in result.schedule)
+
+    def test_memory_effects_balance(self, small_scenario):
+        """Every transferred weight is eventually freed (except residents)."""
+        result, _ = build(small_scenario)
+        allocs = {}
+        frees = {}
+        for op in result.schedule:
+            for e in op.allocs:
+                if e.pool == "vram" and not e.tensor_id.startswith("kv"):
+                    allocs[e.tensor_id] = allocs.get(e.tensor_id, 0) + 1
+            for e in op.frees:
+                frees[e.tensor_id] = frees.get(e.tensor_id, 0) + 1
+        for tid, n_alloc in allocs.items():
+            if tid == "resident+workspace":
+                continue
+            assert frees.get(tid, 0) == n_alloc, tid
+
+
+class TestFeatureVariants:
+    def test_hot_prefetch_transfers_fewer_experts(self, small_scenario):
+        prefetcher = ExpertPrefetcher(
+            small_scenario.model.num_layers,
+            small_scenario.model.num_experts,
+            top_k=small_scenario.model.top_k,
+        )
+        hot, _ = build(
+            small_scenario,
+            PipelineFeatures(hot_prefetch=True),
+            prefetcher=prefetcher,
+        )
+        full, _ = build(small_scenario, PipelineFeatures(hot_prefetch=False))
+        hot_transfers = sum(
+            1 for op in hot.schedule
+            if op.resource == H2D and op.label.startswith("h2d:expert")
+        )
+        full_transfers = sum(
+            1 for op in full.schedule
+            if op.resource == H2D and op.label.startswith("h2d:expert")
+        )
+        assert hot_transfers <= full_transfers
+
+    def test_adjust_order_merges_expert_ops(self, small_scenario):
+        adjusted, _ = build(small_scenario, PipelineFeatures(adjust_order=True))
+        batchwise, _ = build(small_scenario, PipelineFeatures(adjust_order=False))
+        n_adj = sum(1 for op in adjusted.schedule if op.phase == PHASE_EXPERT)
+        n_batch = sum(1 for op in batchwise.schedule if op.phase == PHASE_EXPERT)
+        assert n_adj <= n_batch
+
+    def test_quantize_shrinks_transfer_durations(self, small_scenario):
+        plain, _ = build(small_scenario, PipelineFeatures(quantize=False))
+        quant, _ = build(small_scenario, PipelineFeatures(quantize=True))
+
+        def expert_io(result):
+            return sum(
+                op.duration for op in result.schedule
+                if op.resource == H2D and op.label.startswith("h2d:expert")
+            )
+
+        assert expert_io(quant) < 0.5 * expert_io(plain)
+
+    def test_cpu_experts_emit_cpu_ops(self, small_scenario):
+        result, _ = build(small_scenario, PipelineFeatures(cpu_experts=True))
+        assert any(op.resource == CPU for op in result.schedule)
+
+    def test_no_overlap_serializes_transfers(self, small_scenario):
+        """Accelerate mode: weight transfers never overlap GPU compute."""
+        result, _ = build(
+            small_scenario,
+            PipelineFeatures(overlap=False, hot_prefetch=False, adjust_order=False),
+            placement_config=PlacementConfig(
+                use_spare_vram=False,
+                prefetch_k=small_scenario.model.num_experts,
+            ),
+        )
+        timeline = Executor(small_scenario.hardware).run(result.schedule)
+        weight_ops = [
+            e for e in timeline.executed
+            if e.op.resource == H2D and e.op.label.startswith("h2d:")
+        ]
+        gpu_ops = timeline.ops_on(GPU)
+        overlap = 0.0
+        for w in weight_ops:
+            for g in gpu_ops:
+                overlap += max(
+                    0.0, min(w.end, g.end) - max(w.start, g.start)
+                )
+        gpu_busy = timeline.busy_time[GPU]
+        assert overlap < 0.05 * gpu_busy
+
+
+class TestExecution:
+    def test_runs_on_executor(self, small_scenario):
+        result, _ = build(small_scenario)
+        timeline = Executor(small_scenario.hardware).run(result.schedule)
+        assert timeline.makespan > 0
+
+    def test_kv_stream_ops_when_kv_in_dram(self, small_scenario):
+        result, placement = build(small_scenario)
+        if placement.kv_level == "dram":
+            assert any(op.resource == D2H and "kvstore" in op.label for op in result.schedule)
+
+    def test_prefill_slower_than_decode_step(self, small_scenario):
+        result, _ = build(small_scenario)
+        timeline = Executor(small_scenario.hardware).run(result.schedule)
+        prefill_end = timeline.executed[result.step_last_op[0]].end
+        step1_end = timeline.executed[result.step_last_op[1]].end
+        assert prefill_end > (step1_end - prefill_end) * 0.5
+
+    def test_sequential_groups_share_schedule(self, small_scenario):
+        from repro.routing.workload import Workload
+
+        single = Workload(4, 1, 32, 2)
+        placement = plan_placement(
+            small_scenario.inventory(), small_scenario.hardware, single, 1
+        )
+        schedule = None
+        for b in range(3):
+            builder = PipelineBuilder(
+                cost_model=CostModel(small_scenario.model, small_scenario.hardware),
+                inventory=small_scenario.inventory(),
+                oracle=small_scenario.make_oracle(batch_offset=b),
+                workload=single,
+                placement=placement,
+                prefetcher=None,
+                features=PipelineFeatures(),
+            )
+            result = builder.build(schedule)
+            schedule = result.schedule
+        schedule.validate()
+        timeline = Executor(small_scenario.hardware).run(schedule)
+        assert timeline.makespan > 0

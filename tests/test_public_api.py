@@ -1,0 +1,88 @@
+"""Public API surface and remaining CLI coverage."""
+
+import pytest
+
+import repro
+from repro.cli import main
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis as analysis
+        import repro.baselines as baselines
+        import repro.compression as compression
+        import repro.core as core
+        import repro.hardware as hardware
+        import repro.model as model
+        import repro.routing as routing
+        import repro.runtime as runtime
+        import repro.serving as serving
+
+        for module in (
+            analysis, baselines, compression, core, hardware, model,
+            routing, runtime, serving,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_quickstart_snippet_runs(self):
+        """The README quickstart, verbatim (shortened workload)."""
+        from repro import KlotskiEngine, Scenario, Workload
+        from repro.hardware import ENV1
+        from repro.model import MIXTRAL_8X7B
+
+        scenario = Scenario(
+            MIXTRAL_8X7B, ENV1, Workload(batch_size=4, num_batches=1,
+                                         prompt_len=64, gen_len=2)
+        )
+        engine = KlotskiEngine(scenario)
+        plan = engine.plan()
+        assert plan.n >= 1
+        result = engine.run(n=2)
+        assert "tok/s" in result.metrics.summary()
+
+    def test_docstrings_on_public_modules(self):
+        import importlib
+        import pkgutil
+
+        missing = []
+        package = importlib.import_module("repro")
+        for info in pkgutil.walk_packages(package.__path__, "repro."):
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(info.name)
+        assert missing == []
+
+
+class TestCLICoverage:
+    def test_compare_command(self, capsys):
+        code = main([
+            "compare", "--batch-size", "4", "--gen-len", "2", "--n", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "klotski" in out and "flexgen" in out
+
+    def test_sweep_command(self, capsys):
+        code = main([
+            "sweep-n", "--batch-size", "4", "--gen-len", "2",
+            "--n-min", "2", "--n-max", "4", "--n-step", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Throughput vs n" in out
+
+    def test_run_quantized(self, capsys):
+        code = main([
+            "run", "--batch-size", "4", "--gen-len", "2", "--n", "2",
+            "--quantize",
+        ])
+        assert code == 0
+        assert "tok/s" in capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""Trace analysis and synthetic-router calibration."""
+
+import numpy as np
+import pytest
+
+from repro.routing.analysis import (
+    analyze_trace,
+    fit_routing_config,
+    fit_zipf_skew,
+    measure_active_fraction,
+    measure_path_correlation,
+)
+from repro.routing.popularity import zipf_weights
+from repro.routing.synthetic import RoutingModelConfig, SyntheticRouter
+from repro.routing.trace import ExpertTrace, StepTrace
+
+
+def sample_trace(config: RoutingModelConfig, steps=4, tokens=512) -> ExpertTrace:
+    router = SyntheticRouter(config)
+    trace = ExpertTrace(config.num_experts)
+    rng = np.random.default_rng(5)
+    for _ in range(steps):
+        step = StepTrace()
+        for a in router.sample_step(tokens, rng):
+            step.append(a)
+        trace.append(step)
+    return trace
+
+
+class TestZipfFit:
+    def test_recovers_known_exponent(self):
+        for skew in (0.5, 1.0, 1.5):
+            assert fit_zipf_skew(zipf_weights(16, skew)) == pytest.approx(
+                skew, abs=0.05
+            )
+
+    def test_uniform_gives_zero(self):
+        assert fit_zipf_skew(np.full(8, 1 / 8)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_degenerate_rows(self):
+        assert fit_zipf_skew(np.array([1.0])) == 0.0
+        assert fit_zipf_skew(np.zeros(4)) == 0.0
+
+
+class TestCorrelationMeasure:
+    def test_deterministic_chain_scores_high(self):
+        # Full pools: the chain mapping is never broken by pool exclusion.
+        cfg = RoutingModelConfig(
+            4, 8, 1, correlation=1.0, skew=0.0, min_active_fraction=1.0, seed=1
+        )
+        trace = sample_trace(cfg)
+        assert measure_path_correlation(trace) > 0.9
+
+    def test_independent_routing_scores_low(self):
+        cfg = RoutingModelConfig(4, 8, 1, correlation=0.0, skew=0.0, seed=1)
+        trace = sample_trace(cfg)
+        assert measure_path_correlation(trace) < 0.2
+
+    def test_monotone_in_true_correlation(self):
+        values = []
+        for corr in (0.1, 0.5, 0.9):
+            cfg = RoutingModelConfig(4, 8, 1, correlation=corr, skew=0.5, seed=1)
+            values.append(measure_path_correlation(sample_trace(cfg)))
+        assert values[0] < values[1] < values[2]
+
+    def test_empty_trace(self):
+        assert measure_path_correlation(ExpertTrace(4)) == 0.0
+
+
+class TestActiveFraction:
+    def test_pool_restriction_measured(self):
+        cfg = RoutingModelConfig(
+            4, 8, 2, min_active_fraction=0.5, max_active_fraction=0.625, seed=2
+        )
+        fraction = measure_active_fraction(sample_trace(cfg))
+        assert 0.4 < fraction < 0.8
+
+    def test_full_activation_measured(self):
+        cfg = RoutingModelConfig(
+            4, 8, 2, min_active_fraction=1.0, max_active_fraction=1.0,
+            skew=0.2, seed=2,
+        )
+        assert measure_active_fraction(sample_trace(cfg)) > 0.95
+
+    def test_empty_trace(self):
+        assert measure_active_fraction(ExpertTrace(4)) == 0.0
+
+
+class TestFitRoutingConfig:
+    def test_fit_recovers_statistics(self):
+        true = RoutingModelConfig(
+            6, 8, 2, skew=1.2, correlation=0.7, min_active_fraction=0.625, seed=4
+        )
+        trace = sample_trace(true, steps=6)
+        fitted = fit_routing_config(trace, top_k=2, seed=9)
+        assert fitted.num_layers == 6
+        assert fitted.num_experts == 8
+        assert abs(fitted.correlation - true.correlation) < 0.25
+        assert fitted.skew > 0.4
+
+    def test_fitted_router_reproduces_coverage(self):
+        true = RoutingModelConfig(6, 8, 2, skew=1.3, correlation=0.6, seed=4)
+        trace = sample_trace(true, steps=6)
+        stats_true = analyze_trace(trace, 2)
+        fitted = fit_routing_config(trace, top_k=2, seed=10)
+        refit_trace = sample_trace(fitted, steps=6)
+        stats_fit = analyze_trace(refit_trace, 2)
+        assert abs(stats_fit.topk_coverage - stats_true.topk_coverage) < 0.15
+
+    def test_works_on_real_model_trace(self, tiny_moe):
+        from repro.model.tokenizer import synthetic_corpus
+        from repro.model.transformer import MoETransformer
+
+        model = MoETransformer(tiny_moe, seed=0)
+        prompts = synthetic_corpus(4, 10, tiny_moe.vocab_size, seed=3)
+        result = model.generate(prompts, 4)
+        fitted = fit_routing_config(result.trace, top_k=tiny_moe.top_k)
+        assert fitted.num_experts == tiny_moe.num_experts
+        assert 0.0 <= fitted.correlation <= 1.0
+        assert fitted.min_active_fraction <= 1.0

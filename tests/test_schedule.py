@@ -1,0 +1,89 @@
+"""Schedule IR: op construction and dependency checking."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.runtime.schedule import (
+    CPU,
+    D2H,
+    GPU,
+    H2D,
+    MemEffect,
+    Op,
+    PHASE_TRANSFER,
+    Schedule,
+)
+
+
+class TestOp:
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ScheduleError):
+            Op(0, "tpu", 1.0, "x")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ScheduleError):
+            Op(0, GPU, -1.0, "x")
+
+
+class TestSchedule:
+    def test_ids_are_sequential(self):
+        s = Schedule()
+        assert s.compute(1.0, "a") == 0
+        assert s.compute(1.0, "b") == 1
+        assert len(s) == 2
+
+    def test_dep_on_future_op_rejected(self):
+        s = Schedule()
+        with pytest.raises(ScheduleError):
+            s.compute(1.0, "a", deps=[0])  # would depend on itself
+
+    def test_dep_on_unknown_op_rejected(self):
+        s = Schedule()
+        s.compute(1.0, "a")
+        with pytest.raises(ScheduleError):
+            s.compute(1.0, "b", deps=[5])
+
+    def test_deps_deduplicated_and_sorted(self):
+        s = Schedule()
+        a = s.compute(1.0, "a")
+        b = s.compute(1.0, "b")
+        c = s.compute(1.0, "c", deps=[b, a, b])
+        assert s[c].deps == (a, b)
+
+    def test_helper_constructors_pick_resources(self):
+        s = Schedule()
+        ops = [
+            s.compute(1.0, "c"),
+            s.cpu_compute(1.0, "cc"),
+            s.transfer_in(1.0, "in"),
+            s.transfer_out(1.0, "out"),
+            s.disk_read(1.0, "d"),
+        ]
+        resources = [s[i].resource for i in ops]
+        assert resources == [GPU, CPU, H2D, D2H, "disk"]
+
+    def test_transfer_defaults_to_transfer_phase(self):
+        s = Schedule()
+        i = s.transfer_in(1.0, "in")
+        assert s[i].phase == PHASE_TRANSFER
+
+    def test_mem_effects_attached(self):
+        s = Schedule()
+        i = s.transfer_in(
+            1.0, "w", allocs=[MemEffect("vram", "t", 100)], frees=[MemEffect("vram", "u", 0)]
+        )
+        assert s[i].allocs[0].nbytes == 100
+        assert s[i].frees[0].tensor_id == "u"
+
+    def test_iteration_order_is_issue_order(self):
+        s = Schedule()
+        labels = ["a", "b", "c"]
+        for label in labels:
+            s.compute(1.0, label)
+        assert [op.label for op in s] == labels
+
+    def test_validate_passes_for_wellformed(self):
+        s = Schedule()
+        a = s.compute(1.0, "a")
+        s.compute(1.0, "b", deps=[a])
+        s.validate()

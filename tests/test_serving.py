@@ -1,0 +1,120 @@
+"""Serving layer: request streams, batching, SLA metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import KlotskiSystem
+from repro.serving import (
+    ArrivalConfig,
+    BatchingConfig,
+    Server,
+    generate_requests,
+)
+
+
+class TestRequestGeneration:
+    def test_count_and_order(self):
+        requests = generate_requests(ArrivalConfig(rate_per_s=2.0, seed=1), 20)
+        assert len(requests) == 20
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_deterministic_per_seed(self):
+        a = generate_requests(ArrivalConfig(seed=3), 10)
+        b = generate_requests(ArrivalConfig(seed=3), 10)
+        assert a == b
+
+    def test_rate_controls_density(self):
+        slow = generate_requests(ArrivalConfig(rate_per_s=0.1, seed=1), 50)
+        fast = generate_requests(ArrivalConfig(rate_per_s=10.0, seed=1), 50)
+        assert fast[-1].arrival_s < slow[-1].arrival_s
+
+    def test_prompt_lengths_within_spread(self):
+        cfg = ArrivalConfig(prompt_len_mean=100, prompt_len_spread=0.2, seed=2)
+        for request in generate_requests(cfg, 40):
+            assert 80 <= request.prompt_len <= 120
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalConfig(rate_per_s=0)
+        with pytest.raises(ValueError):
+            ArrivalConfig(prompt_len_spread=1.5)
+
+
+class TestBatchingConfig:
+    def test_capacity(self):
+        assert BatchingConfig(batch_size=8, group_batches=4).group_capacity == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingConfig(max_wait_s=0)
+
+
+@pytest.fixture
+def server(small_scenario):
+    batching = BatchingConfig(batch_size=4, group_batches=2, max_wait_s=30.0)
+    return Server(small_scenario, KlotskiSystem(), batching)
+
+
+class TestServer:
+    def test_all_requests_complete(self, server):
+        requests = generate_requests(
+            ArrivalConfig(rate_per_s=1.0, prompt_len_mean=32, gen_len=4, seed=1), 12
+        )
+        report = server.simulate(requests)
+        assert len(report.completed) == 12
+        assert report.makespan_s > 0
+        assert report.throughput > 0
+
+    def test_completion_after_arrival_and_dispatch(self, server):
+        requests = generate_requests(
+            ArrivalConfig(rate_per_s=2.0, prompt_len_mean=32, gen_len=4, seed=2), 10
+        )
+        report = server.simulate(requests)
+        for completed in report.completed:
+            assert completed.dispatch_s >= completed.request.arrival_s
+            assert completed.completion_s > completed.dispatch_s
+            assert completed.latency_s >= completed.queueing_s
+
+    def test_machine_never_double_booked(self, server):
+        requests = generate_requests(
+            ArrivalConfig(rate_per_s=5.0, prompt_len_mean=32, gen_len=4, seed=3), 16
+        )
+        report = server.simulate(requests)
+        windows = sorted(
+            {(c.dispatch_s, c.completion_s) for c in report.completed}
+        )
+        for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+            assert s2 >= e1 - 1e-9
+
+    def test_percentiles_ordered(self, server):
+        requests = generate_requests(
+            ArrivalConfig(rate_per_s=3.0, prompt_len_mean=32, gen_len=4, seed=4), 20
+        )
+        report = server.simulate(requests)
+        assert report.percentile_latency(50) <= report.percentile_latency(95)
+        assert "tok/s" in report.summary()
+
+    def test_larger_groups_raise_throughput(self, small_scenario):
+        """The core trade-off: bigger batch groups amortize weight I/O."""
+        requests = generate_requests(
+            ArrivalConfig(rate_per_s=50.0, prompt_len_mean=32, gen_len=4, seed=5), 24
+        )
+        small = Server(
+            small_scenario,
+            KlotskiSystem(),
+            BatchingConfig(batch_size=4, group_batches=1),
+        ).simulate(requests)
+        large = Server(
+            small_scenario,
+            KlotskiSystem(),
+            BatchingConfig(batch_size=4, group_batches=6),
+        ).simulate(requests)
+        assert large.throughput > small.throughput
+
+    def test_empty_stream(self, server):
+        report = server.simulate([])
+        assert report.completed == []
+        assert report.throughput == 0.0

@@ -1,0 +1,79 @@
+"""Tensor inventory: ids, sizes, and lookups."""
+
+import pytest
+
+from repro.model.config import MIXTRAL_8X7B
+from repro.model.tensors import (
+    ATTN,
+    EXPERT,
+    GATE,
+    TensorInventory,
+    attn_id,
+    expert_id,
+    gate_id,
+    kv_id,
+    parse_tensor_id,
+)
+
+
+@pytest.fixture
+def inv(tiny_moe):
+    return TensorInventory(tiny_moe)
+
+
+class TestIds:
+    def test_id_formats(self):
+        assert attn_id(3) == "attn.3"
+        assert gate_id(0) == "gate.0"
+        assert expert_id(2, 5) == "expert.2.5"
+        assert kv_id(1, 4) == "kv.1.4"
+
+    def test_parse_roundtrip(self):
+        assert parse_tensor_id("expert.2.5") == (EXPERT, 2, 5)
+        assert parse_tensor_id("attn.3") == (ATTN, 3, -1)
+        assert parse_tensor_id("embed") == ("embed", -1, -1)
+
+
+class TestInventory:
+    def test_tensor_count(self, inv, tiny_moe):
+        # embed + per layer: attn + gate + experts
+        expected = 1 + tiny_moe.num_layers * (2 + tiny_moe.num_experts)
+        assert len(inv) == expected
+
+    def test_dense_has_no_gates(self, tiny_dense):
+        inv = TensorInventory(tiny_dense)
+        assert not any(s.kind == GATE for s in inv)
+        assert len(inv.experts_of(0)) == 1
+
+    def test_sizes_match_config(self, inv, tiny_moe):
+        assert inv.nbytes(attn_id(0)) == tiny_moe.attention_bytes()
+        assert inv.nbytes(expert_id(1, 2)) == tiny_moe.expert_bytes()
+        assert inv.nbytes(gate_id(3)) == tiny_moe.gate_bytes()
+
+    def test_total_bytes_matches_config(self, tiny_moe):
+        inv = TensorInventory(tiny_moe)
+        assert inv.total_bytes() == pytest.approx(tiny_moe.total_bytes(), rel=0.01)
+
+    def test_layer_tensors(self, inv, tiny_moe):
+        tensors = inv.layer_tensors(1)
+        kinds = sorted(t.kind for t in tensors)
+        assert kinds == sorted([ATTN, GATE] + [EXPERT] * tiny_moe.num_experts)
+
+    def test_experts_of_ordering(self, inv, tiny_moe):
+        experts = inv.experts_of(2)
+        assert [e.expert for e in experts] == list(range(tiny_moe.num_experts))
+
+    def test_contains_and_get(self, inv):
+        assert attn_id(0) in inv
+        assert "nonsense" not in inv
+        spec = inv.get(attn_id(0))
+        assert spec.layer == 0 and spec.kind == ATTN
+
+    def test_kv_spec_sizing(self, inv, tiny_moe):
+        spec = inv.kv_spec(layer=0, batch=1, tokens=10, batch_size=4)
+        assert spec.nbytes == 10 * 4 * tiny_moe.kv_bytes_per_token()
+
+    def test_mixtral_inventory_scale(self):
+        inv = TensorInventory(MIXTRAL_8X7B)
+        # 1 embed + 32 x (attn + gate + 8 experts)
+        assert len(inv) == 1 + 32 * 10

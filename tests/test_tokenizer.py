@@ -1,0 +1,65 @@
+"""Toy tokenizer and synthetic corpus."""
+
+import numpy as np
+import pytest
+
+from repro.model.tokenizer import ToyTokenizer, synthetic_corpus
+
+
+class TestToyTokenizer:
+    def test_encode_adds_bos(self):
+        tok = ToyTokenizer(1000)
+        ids = tok.encode("hello world")
+        assert ids[0] == ToyTokenizer.BOS
+        assert len(ids) == 3
+
+    def test_deterministic_and_case_insensitive(self):
+        tok = ToyTokenizer(1000)
+        assert tok.token_id("Hello") == tok.token_id("hello")
+        assert tok.token_id("hello") == tok.token_id("hello")
+
+    def test_ids_within_vocab(self):
+        tok = ToyTokenizer(100)
+        ids = tok.encode("the quick brown fox jumps")
+        assert np.all(ids < 100)
+        assert np.all(ids >= 0)
+
+    def test_reserved_ids_not_produced(self):
+        tok = ToyTokenizer(50)
+        for word in ("a", "b", "c", "def", "xyz"):
+            assert tok.token_id(word) >= ToyTokenizer.RESERVED
+
+    def test_decode_stops_at_eos(self):
+        tok = ToyTokenizer(100)
+        text = tok.decode([10, 11, ToyTokenizer.EOS, 12])
+        assert "w12" not in text
+
+    def test_tiny_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            ToyTokenizer(4)
+
+
+class TestSyntheticCorpus:
+    def test_shape_and_range(self):
+        corpus = synthetic_corpus(6, 16, 256, seed=0)
+        assert corpus.shape == (6, 16)
+        assert corpus.max() < 256
+        assert corpus.min() >= 0
+
+    def test_starts_with_bos(self):
+        corpus = synthetic_corpus(4, 8, 256, seed=0)
+        assert np.all(corpus[:, 0] == ToyTokenizer.BOS)
+
+    def test_deterministic_per_seed(self):
+        a = synthetic_corpus(4, 8, 256, seed=1)
+        b = synthetic_corpus(4, 8, 256, seed=1)
+        c = synthetic_corpus(4, 8, 256, seed=2)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_topics_partition_vocabulary(self):
+        """Sequences from different topics use disjoint vocab slices."""
+        corpus = synthetic_corpus(40, 64, 1024, num_topics=4, seed=3)
+        ranges = {tuple(sorted({int(t) // 256 for t in row[1:]})) for row in corpus}
+        # Each sequence concentrates on one quarter of the vocab.
+        assert all(len(r) <= 2 for r in ranges)

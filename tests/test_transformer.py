@@ -1,0 +1,113 @@
+"""The numpy MoE transformer: forward, generation, traces, streaming."""
+
+import numpy as np
+import pytest
+
+from repro.model.kvcache import StreamingConfig
+from repro.model.tokenizer import synthetic_corpus
+from repro.model.transformer import MoETransformer
+
+
+@pytest.fixture(scope="module")
+def model():
+    from tests.conftest import TINY_MOE
+
+    return MoETransformer(TINY_MOE, seed=0)
+
+
+@pytest.fixture(scope="module")
+def prompts():
+    from tests.conftest import TINY_MOE
+
+    return synthetic_corpus(3, 8, TINY_MOE.vocab_size, seed=5)
+
+
+class TestForward:
+    def test_logits_shape(self, model, prompts):
+        caches = model.new_cache(3)
+        logits = model.forward(prompts, caches)
+        assert logits.shape == (3, 8, model.config.vocab_size)
+
+    def test_cache_populated(self, model, prompts):
+        caches = model.new_cache(3)
+        model.forward(prompts, caches)
+        assert caches[0].seq_len == 8
+        assert caches[0].nbytes > 0
+
+    def test_incremental_matches_full(self, model, prompts):
+        """Decoding token-by-token equals one full forward (causality)."""
+        full_caches = model.new_cache(1)
+        full = model.forward(prompts[:1], full_caches)
+
+        inc_caches = model.new_cache(1)
+        outs = []
+        for t in range(prompts.shape[1]):
+            outs.append(model.forward(prompts[:1, t : t + 1], inc_caches))
+        inc = np.concatenate(outs, axis=1)
+        assert np.allclose(full, inc, atol=1e-8)
+
+
+class TestGeneration:
+    def test_output_shape(self, model, prompts):
+        result = model.generate(prompts, max_new_tokens=4)
+        assert result.tokens.shape == (3, 12)
+
+    def test_deterministic_greedy(self, model, prompts):
+        r1 = model.generate(prompts, 4)
+        r2 = model.generate(prompts, 4)
+        assert np.array_equal(r1.tokens, r2.tokens)
+
+    def test_trace_recorded_per_step(self, model, prompts):
+        result = model.generate(prompts, 3)
+        assert result.trace.num_steps == 3
+        assert result.trace.steps[0].num_layers == model.config.num_layers
+        # First step routes the whole prompt, later steps one token each.
+        assert result.trace.steps[0].layer(0).shape == (3 * 8, 2)
+        assert result.trace.steps[1].layer(0).shape == (3, 2)
+
+    def test_sampled_generation_seeded(self, model, prompts):
+        r1 = model.generate(prompts, 3, greedy=False, temperature=0.8, seed=7)
+        r2 = model.generate(prompts, 3, greedy=False, temperature=0.8, seed=7)
+        assert np.array_equal(r1.tokens, r2.tokens)
+
+    def test_eos_stops_sequence(self, model, prompts):
+        result = model.generate(prompts, 5, eos_token=2)
+        # Once a row hits EOS it keeps emitting EOS.
+        for row in result.tokens:
+            hits = np.nonzero(row == 2)[0]
+            if hits.size:
+                assert np.all(row[hits[0] :] == 2)
+
+
+class TestRoutingStructure:
+    def test_hot_experts_emerge(self, model, prompts):
+        """Figure 5: a few experts cover most tokens per layer."""
+        result = model.generate(prompts, 4)
+        coverage = result.trace.topk_coverage(model.config.top_k)
+        # top-2 of 4 experts would be 0.5 under uniform routing.
+        assert coverage.mean() > 0.55
+
+    def test_hot_experts_vary_by_layer(self, model, prompts):
+        result = model.generate(prompts, 4)
+        pop = result.trace.popularity()
+        hottest = pop.argmax(axis=1)
+        assert len(set(hottest.tolist())) > 1
+
+
+class TestStreamingModel:
+    def test_streaming_bounds_cache(self, prompts):
+        from tests.conftest import TINY_MOE
+
+        streaming = MoETransformer(
+            TINY_MOE, seed=0, streaming=StreamingConfig(sinks=2, window=4)
+        )
+        result = streaming.generate(prompts, 6)
+        dense = MoETransformer(TINY_MOE, seed=0).generate(prompts, 6)
+        assert result.kv_bytes < dense.kv_bytes
+
+    def test_dense_model_variant(self, tiny_dense, prompts):
+        model = MoETransformer(tiny_dense, seed=0)
+        result = model.generate(prompts[:, :6] % tiny_dense.vocab_size, 2)
+        assert result.tokens.shape == (3, 8)
+        # Dense models route everything to the single expert.
+        assert np.all(result.trace.steps[0].layer(0) == 0)
