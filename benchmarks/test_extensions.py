@@ -128,8 +128,11 @@ class TestServing:
                 server = Server(
                     scenario,
                     KlotskiSystem(),
+                    # The wait bound is load-matched: partial groups now
+                    # dispatch at the deadline proper (not at the next
+                    # arrival), so an oversized bound would idle the tail.
                     BatchingConfig(
-                        batch_size=8, group_batches=group_batches, max_wait_s=120.0
+                        batch_size=8, group_batches=group_batches, max_wait_s=30.0
                     ),
                 )
                 reports[group_batches] = server.simulate(requests)

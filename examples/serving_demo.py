@@ -35,7 +35,7 @@ def main() -> None:
         server = Server(
             scenario,
             KlotskiSystem(),
-            BatchingConfig(batch_size=8, group_batches=group_batches, max_wait_s=90.0),
+            BatchingConfig(batch_size=8, group_batches=group_batches, max_wait_s=30.0),
         )
         report = server.simulate(requests)
         mean_queue = sum(c.queueing_s for c in report.completed) / len(report.completed)

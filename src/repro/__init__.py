@@ -19,10 +19,14 @@ Quickstart::
 """
 
 from repro.core.engine import KlotskiEngine, KlotskiOptions, KlotskiSystem
+
+# Imported after the core engine: the cluster layer builds on the serving
+# stack, which reaches back into repro.core via repro.systems.
+from repro.cluster import ClusterConfig, ClusterSimulator, build_cluster, make_router
 from repro.routing.workload import Workload, paper_workload
 from repro.scenario import Scenario
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "KlotskiEngine",
@@ -31,5 +35,9 @@ __all__ = [
     "Workload",
     "paper_workload",
     "Scenario",
+    "ClusterConfig",
+    "ClusterSimulator",
+    "build_cluster",
+    "make_router",
     "__version__",
 ]

@@ -8,6 +8,11 @@ Subcommands mirror how the paper's system is operated:
 * ``compare``    — run Klotski and the baselines on one scenario (Fig. 10)
 * ``sweep-n``    — throughput vs batch-group size (Fig. 14)
 * ``export-trace`` — save a run's pipeline as Chrome-tracing JSON
+* ``serve``      — simulate a multi-replica cluster serving a request
+  stream behind a pluggable router (``repro.cluster``)
+
+``run``, ``compare``, and ``serve`` accept ``--json`` to emit
+machine-readable results instead of text.
 
 Installed as ``klotski-repro`` (see ``pyproject.toml``).
 """
@@ -15,12 +20,16 @@ Installed as ``klotski-repro`` (see ``pyproject.toml``).
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
 from repro.analysis.bubbles import analyze_bubbles
 from repro.analysis.plots import bar_chart
 from repro.analysis.reporting import ResultGrid
 from repro.baselines import ALL_BASELINES
+from repro.cluster import ClusterConfig, ClusterSimulator, build_cluster, make_router
+from repro.cluster.routers import ROUTERS
 from repro.core.engine import KlotskiEngine, KlotskiOptions, KlotskiSystem
 from repro.hardware.calibrate import TimingCache, measure
 from repro.hardware.spec import ENVIRONMENTS
@@ -28,6 +37,15 @@ from repro.model.config import MODELS
 from repro.routing.workload import Workload
 from repro.runtime.traceexport import save_chrome_trace
 from repro.scenario import Scenario
+from repro.serving import (
+    ArrivalConfig,
+    BatchingConfig,
+    BurstyConfig,
+    assign_hot_experts,
+    generate_bursty,
+    generate_requests,
+    replay_trace,
+)
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
@@ -90,8 +108,22 @@ def cmd_run(args) -> int:
     options = KlotskiOptions(quantize=args.quantize)
     engine = KlotskiEngine(scenario, options)
     result = engine.run(n=args.n)
+    bubbles = analyze_bubbles(result.timeline)
+    if args.json:
+        payload = dataclasses.asdict(result.metrics)
+        payload["throughput"] = result.metrics.throughput
+        payload["gpu_utilization"] = result.metrics.gpu_utilization
+        payload["bubble_fraction"] = bubbles.bubble_fraction
+        if result.prefetcher is not None:
+            stats = result.prefetcher.stats
+            payload["prefetch_hot_accuracy"] = float(stats.hot_accuracy().mean())
+            payload["prefetch_participation"] = float(
+                stats.participation_rate().mean()
+            )
+        print(json.dumps(payload, indent=2))
+        return 0
     print(result.metrics.summary())
-    print(analyze_bubbles(result.timeline).summary())
+    print(bubbles.summary())
     if result.prefetcher is not None:
         stats = result.prefetcher.stats
         print(
@@ -108,16 +140,100 @@ def cmd_compare(args) -> int:
         KlotskiSystem(KlotskiOptions(quantize=True)),
         *[cls() for cls in ALL_BASELINES],
     ]
-    throughputs = {}
+    rows = []
     for system in systems:
         result = system.run_safe(scenario)
-        if result.oom:
-            print(f"{system.name:<20} OOM")
+        rows.append(
+            {
+                "system": system.name,
+                "oom": result.oom,
+                "oom_reason": result.oom_reason,
+                "throughput_tok_s": result.throughput,
+            }
+        )
+    if args.json:
+        print(json.dumps({"model": args.model, "env": args.env,
+                          "batch_size": args.batch_size, "systems": rows},
+                         indent=2))
+        return 0
+    throughputs = {}
+    for row in rows:
+        if row["oom"]:
+            print(f"{row['system']:<20} OOM")
         else:
-            throughputs[system.name] = result.throughput
-            print(f"{system.name:<20} {result.throughput:8.2f} tok/s")
+            throughputs[row["system"]] = row["throughput_tok_s"]
+            print(f"{row['system']:<20} {row['throughput_tok_s']:8.2f} tok/s")
     print()
     print(bar_chart(throughputs, unit=" tok/s"))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    model = MODELS[args.model]
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
+    env_names = args.envs.split(",") if args.envs else [args.env]
+    for name in env_names:
+        if name not in ENVIRONMENTS:
+            raise SystemExit(f"unknown environment {name!r}")
+    environments = [
+        ENVIRONMENTS[env_names[i % len(env_names)]] for i in range(args.replicas)
+    ]
+    batching = BatchingConfig(
+        batch_size=args.batch_size,
+        group_batches=args.group_batches,
+        max_wait_s=args.max_wait,
+    )
+    if args.trace:
+        try:
+            requests = replay_trace(args.trace)
+        except FileNotFoundError:
+            raise SystemExit(f"trace file not found: {args.trace}") from None
+    elif args.arrival == "bursty":
+        # Calm/burst rates chosen so the *mean* rate equals --rate: with
+        # equal time in each state, 0.5/base + 0.5/burst = 1/rate.
+        requests = generate_bursty(
+            BurstyConfig(
+                base_rate_per_s=args.rate * 0.625,
+                burst_rate_per_s=args.rate * 2.5,
+                prompt_len_mean=args.prompt_len,
+                gen_len=args.gen_len,
+                seed=args.seed,
+            ),
+            args.requests,
+        )
+    else:
+        requests = generate_requests(
+            ArrivalConfig(
+                rate_per_s=args.rate,
+                prompt_len_mean=args.prompt_len,
+                gen_len=args.gen_len,
+                seed=args.seed,
+            ),
+            args.requests,
+        )
+    if all(r.hot_expert is None for r in requests):
+        requests = assign_hot_experts(
+            requests, model.num_experts, skew=1.1, seed=args.seed
+        )
+    replicas = build_cluster(
+        model,
+        environments,
+        batching,
+        prompt_len=args.prompt_len,
+        gen_len=args.gen_len,
+        seed=args.seed,
+    )
+    simulator = ClusterSimulator(
+        replicas,
+        make_router(args.router),
+        ClusterConfig(slo_s=args.slo),
+    )
+    report = simulator.run(requests)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
     return 0
 
 
@@ -165,12 +281,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_args(p)
     p.add_argument("--n", type=int, default=None, help="batch-group size (default: planned)")
     p.add_argument("--quantize", action="store_true")
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare", help="compare against the baselines")
     _add_scenario_args(p)
     p.add_argument("--n", type=int, default=None)
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "serve", help="simulate a multi-replica serving cluster"
+    )
+    _add_scenario_args(p)
+    p.add_argument("--replicas", type=int, default=4, help="fleet size")
+    p.add_argument(
+        "--router", default="least-outstanding", choices=sorted(ROUTERS),
+        help="request routing policy",
+    )
+    p.add_argument(
+        "--envs",
+        help="comma-separated env presets cycled across replicas "
+        "(heterogeneous fleet); overrides --env",
+    )
+    p.add_argument("--requests", type=int, default=32, help="stream length")
+    p.add_argument("--rate", type=float, default=2.0, help="mean arrivals/s")
+    p.add_argument(
+        "--arrival", default="poisson", choices=["poisson", "bursty"],
+        help="arrival process",
+    )
+    p.add_argument("--trace", help="replay arrivals from a JSON trace file")
+    p.add_argument("--group-batches", type=int, default=2,
+                   help="batches per dispatched group")
+    p.add_argument("--max-wait", type=float, default=60.0,
+                   help="partial-group dispatch deadline (s)")
+    p.add_argument("--slo", type=float, default=120.0,
+                   help="latency SLO for goodput accounting (s)")
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("sweep-n", help="throughput vs batch-group size")
     _add_scenario_args(p)

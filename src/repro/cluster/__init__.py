@@ -1,0 +1,49 @@
+"""Multi-replica cluster serving: routing, group formation, SLO accounting.
+
+The scaling layer above the single-machine serving simulation: N replicas
+(any :class:`~repro.systems.InferenceSystem`, heterogeneous hardware) serve
+one request stream behind a pluggable router, driven by a discrete-event
+loop (arrivals, batching deadlines, completions in one heap). Results roll
+up into a :class:`ClusterReport` with TTFT/latency percentiles, goodput
+under an SLO, per-replica utilization, and cost-per-token.
+"""
+
+from repro.cluster.events import ARRIVAL, COMPLETION, DEADLINE, Event, EventQueue
+from repro.cluster.replica import DispatchedGroup, GroupTiming, Replica
+from repro.cluster.report import (
+    ClusterReport,
+    ReplicaStats,
+    RequestRecord,
+)
+from repro.cluster.routers import (
+    ROUTERS,
+    ExpertAffinityRouter,
+    LeastOutstandingRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+from repro.cluster.simulator import ClusterConfig, ClusterSimulator, build_cluster
+
+__all__ = [
+    "ARRIVAL",
+    "COMPLETION",
+    "DEADLINE",
+    "Event",
+    "EventQueue",
+    "DispatchedGroup",
+    "GroupTiming",
+    "Replica",
+    "ClusterReport",
+    "ReplicaStats",
+    "RequestRecord",
+    "ROUTERS",
+    "ExpertAffinityRouter",
+    "LeastOutstandingRouter",
+    "RoundRobinRouter",
+    "Router",
+    "make_router",
+    "ClusterConfig",
+    "ClusterSimulator",
+    "build_cluster",
+]

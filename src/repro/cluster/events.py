@@ -1,0 +1,55 @@
+"""Discrete-event core of the cluster simulator.
+
+One binary heap carries all three event kinds, ordered by (time, sequence):
+
+* ``ARRIVAL``   — a request enters the cluster and is routed to a replica;
+* ``DEADLINE``  — a queued request's batching wait bound expires, forcing
+  dispatch of a partial group (``oldest.arrival_s + max_wait_s``);
+* ``COMPLETION`` — a dispatched batch group finishes on its replica.
+
+Deadline events are scheduled eagerly (one per enqueued request) and
+validated lazily when popped: a stale deadline — its request already
+dispatched — is a no-op. This keeps the queue O(N log N) without the
+bookkeeping of cancellable timers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+ARRIVAL = "arrival"
+DEADLINE = "deadline"
+COMPLETION = "completion"
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled simulator event; ordering key is (time, seq)."""
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Time-ordered event heap with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: str, payload: Any = None) -> None:
+        heapq.heappush(self._heap, Event(time, next(self._counter), kind, payload))
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,202 @@
+"""One serving replica: an inference system bound to a hardware environment.
+
+A replica owns a FIFO request queue and a single batch-group execution slot
+(the underlying :class:`~repro.systems.InferenceSystem` processes one group
+at a time, exactly like the single-machine :class:`~repro.serving.Server`).
+Group processing times come from running the wrapped system on the
+replica's scenario and are memoized in a cluster-shared cache keyed by
+(hardware, model, system, group shape); prompt lengths are bucketed to
+``prompt_quantum`` so heterogeneous request lengths do not defeat the
+cache.
+
+Replicas also expose the set of expert indices their VRAM keeps resident
+(derived from the placement planner, or assigned by the cluster when
+experts are partitioned across the fleet); dispatching a group whose
+requests touch non-resident hot experts pays an explicit fetch penalty
+— one PCIe transfer of the expert's weights per layer — which is the
+signal the expert-affinity router optimizes against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.tensors import EXPERT
+from repro.serving.requests import Request
+from repro.serving.server import BatchingConfig, group_shape
+from repro.routing.workload import Workload
+from repro.scenario import Scenario
+from repro.systems import InferenceSystem
+
+
+@dataclass
+class GroupTiming:
+    """Memoized timing of one batch-group shape on one replica class."""
+
+    total_s: float
+    prefill_s: float
+
+
+@dataclass
+class DispatchedGroup:
+    """A batch group committed to a replica's execution slot."""
+
+    requests: list[Request]
+    dispatch_s: float
+    start_s: float
+    completion_s: float
+    prefill_s: float
+    expert_misses: int
+
+
+class Replica:
+    """A single cluster member wrapping one inference system."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        scenario: Scenario,
+        system: InferenceSystem,
+        batching: BatchingConfig,
+        *,
+        prompt_quantum: int = 64,
+        shared_cache: dict | None = None,
+    ):
+        self.replica_id = replica_id
+        self.scenario = scenario
+        self.system = system
+        self.batching = batching
+        self.prompt_quantum = max(1, prompt_quantum)
+        self._cache = shared_cache if shared_cache is not None else {}
+        self.resident_experts: frozenset[int] = frozenset()
+
+        # Simulation state.
+        self.queue: list[Request] = []
+        self.free_at = 0.0
+        self.busy_s = 0.0
+        self.inflight = 0  # requests dispatched but not yet completed
+        self.expert_misses = 0
+        self.groups: list[DispatchedGroup] = []
+        self.queue_depth_timeline: list[tuple[float, int]] = []
+
+    # ---- identity ---------------------------------------------------------
+
+    @property
+    def hardware_name(self) -> str:
+        return self.scenario.hardware.name
+
+    @property
+    def system_name(self) -> str:
+        return self.system.name
+
+    # ---- expert residency -------------------------------------------------
+
+    def derive_resident_experts(self) -> frozenset[int]:
+        """Expert indices the placement planner keeps VRAM-resident.
+
+        An expert index counts as resident when at least half of its
+        per-layer tensors land in VRAM under the replica's own placement
+        plan for a full batch group.
+        """
+        workload = Workload(
+            self.batching.batch_size,
+            self.batching.group_batches,
+            self.scenario.workload.prompt_len,
+            self.scenario.workload.gen_len,
+        )
+        try:
+            plan = self.system.make_placement(
+                self.scenario.with_workload(workload), workload
+            )
+        except Exception:
+            return frozenset()
+        num_layers = self.scenario.model.num_layers
+        per_expert: dict[int, int] = {}
+        for spec in self.scenario.inventory():
+            if spec.kind == EXPERT and plan.is_resident(spec.tensor_id):
+                per_expert[spec.expert] = per_expert.get(spec.expert, 0) + 1
+        return frozenset(
+            e for e, layers in per_expert.items() if layers * 2 >= num_layers
+        )
+
+    def expert_fetch_time_s(self) -> float:
+        """Time to pull one expert's weights over PCIe for every layer."""
+        model = self.scenario.model
+        per_layer = self.scenario.hardware.pcie_h2d.transfer_time(
+            model.expert_bytes()
+        )
+        return per_layer * model.num_layers
+
+    # ---- queue & dispatch -------------------------------------------------
+
+    def outstanding(self) -> int:
+        """Requests routed here but not yet completed (queue + in flight)."""
+        return len(self.queue) + self.inflight
+
+    def enqueue(self, request: Request, now: float) -> None:
+        self.queue.append(request)
+        self.queue_depth_timeline.append((now, len(self.queue)))
+
+    def group_ready(self) -> bool:
+        return len(self.queue) >= self.batching.group_capacity
+
+    def oldest_deadline(self) -> float:
+        if not self.queue:
+            return float("inf")
+        return self.queue[0].arrival_s + self.batching.max_wait_s
+
+    def _group_timing(self, n_batches: int, prompt: int, gen: int) -> GroupTiming:
+        prompt = -(-prompt // self.prompt_quantum) * self.prompt_quantum
+        key = (
+            self.hardware_name,
+            self.scenario.model.name,
+            self.system_name,
+            n_batches,
+            prompt,
+            gen,
+        )
+        if key not in self._cache:
+            workload = Workload(self.batching.batch_size, n_batches, prompt, gen)
+            result = self.system.run(self.scenario.with_workload(workload))
+            self._cache[key] = GroupTiming(
+                total_s=result.metrics.total_time_s,
+                prefill_s=result.metrics.prefill_time_s,
+            )
+        return self._cache[key]
+
+    def dispatch(self, now: float) -> DispatchedGroup:
+        """Commit the oldest full-or-partial group to the execution slot."""
+        capacity = self.batching.group_capacity
+        group = self.queue[:capacity]
+        del self.queue[:capacity]
+        self.queue_depth_timeline.append((now, len(self.queue)))
+
+        n_batches, prompt, gen = group_shape(group, self.batching.batch_size)
+        timing = self._group_timing(n_batches, prompt, gen)
+
+        missing = {
+            r.hot_expert
+            for r in group
+            if r.hot_expert is not None and r.hot_expert not in self.resident_experts
+        }
+        penalty = len(missing) * self.expert_fetch_time_s()
+
+        start = max(now, self.free_at)
+        duration = timing.total_s + penalty
+        self.free_at = start + duration
+        self.busy_s += duration
+        self.inflight += len(group)
+        self.expert_misses += len(missing)
+        dispatched = DispatchedGroup(
+            requests=group,
+            dispatch_s=now,
+            start_s=start,
+            completion_s=self.free_at,
+            prefill_s=timing.prefill_s + penalty,
+            expert_misses=len(missing),
+        )
+        self.groups.append(dispatched)
+        return dispatched
+
+    def complete(self, group: DispatchedGroup) -> None:
+        self.inflight -= len(group.requests)

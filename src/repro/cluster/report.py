@@ -1,0 +1,238 @@
+"""Cluster-level serving metrics: latency SLOs, utilization, and cost.
+
+Extends the single-machine :class:`~repro.serving.ServingReport` to fleet
+metrics: per-replica utilization and queue-depth timelines, cluster-wide
+TTFT and latency percentiles (p50/p95/p99), *goodput* — throughput counting
+only requests that met a latency SLO — and a cost-per-token estimate from
+per-hardware dollar rates. Everything is exportable as plain dicts for the
+CLI's ``--json`` mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.requests import Request
+
+# Rough on-demand cloud $/hour per simulated environment; used for the
+# cost-per-token estimate, overridable via the ``rates`` argument of
+# :meth:`ClusterReport.cost_usd` / :meth:`ClusterReport.cost_per_token`.
+HARDWARE_COST_PER_HOUR = {
+    "env1-rtx3090": 0.6,
+    "env2-h800": 3.2,
+}
+DEFAULT_COST_PER_HOUR = 1.0
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle of one request through the cluster."""
+
+    request: Request
+    replica_id: int
+    dispatch_s: float  # group committed to the replica's execution slot
+    start_s: float  # machine actually began the group
+    completion_s: float
+    ttft_s: float  # arrival -> first output token (start + group prefill)
+
+    @property
+    def latency_s(self) -> float:
+        return self.completion_s - self.request.arrival_s
+
+    @property
+    def queueing_s(self) -> float:
+        return self.start_s - self.request.arrival_s
+
+
+@dataclass
+class ReplicaStats:
+    """Per-replica utilization and queue telemetry."""
+
+    replica_id: int
+    hardware: str
+    system: str
+    requests: int = 0
+    groups: int = 0
+    busy_s: float = 0.0
+    expert_misses: int = 0
+    resident_experts: tuple[int, ...] = ()
+    queue_depth_timeline: list[tuple[float, int]] = field(default_factory=list)
+
+    def utilization(self, makespan_s: float) -> float:
+        if makespan_s <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / makespan_s)
+
+    def max_queue_depth(self) -> int:
+        return max((d for _, d in self.queue_depth_timeline), default=0)
+
+    def to_dict(self, makespan_s: float) -> dict:
+        return {
+            "replica_id": self.replica_id,
+            "hardware": self.hardware,
+            "system": self.system,
+            "requests": self.requests,
+            "groups": self.groups,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization(makespan_s),
+            "expert_misses": self.expert_misses,
+            "resident_experts": list(self.resident_experts),
+            "max_queue_depth": self.max_queue_depth(),
+            "queue_depth_timeline": [
+                [t, d] for t, d in self.queue_depth_timeline
+            ],
+        }
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate result of one cluster simulation."""
+
+    router: str
+    slo_s: float
+    records: list[RequestRecord] = field(default_factory=list)
+    replicas: list[ReplicaStats] = field(default_factory=list)
+    makespan_s: float = 0.0
+
+    # ---- latency ----------------------------------------------------------
+
+    def latencies(self) -> np.ndarray:
+        return np.array([r.latency_s for r in self.records])
+
+    def ttfts(self) -> np.ndarray:
+        return np.array([r.ttft_s for r in self.records])
+
+    def percentile_latency(self, q: float) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.percentile(self.latencies(), q))
+
+    def percentile_ttft(self, q: float) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.percentile(self.ttfts(), q))
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(self.latencies().mean())
+
+    @property
+    def mean_ttft_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(self.ttfts().mean())
+
+    # ---- throughput, goodput, cost ---------------------------------------
+
+    @property
+    def generated_tokens(self) -> int:
+        return sum(r.request.gen_len for r in self.records)
+
+    @property
+    def throughput(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.generated_tokens / self.makespan_s
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests whose end-to-end latency met the SLO."""
+        if not self.records:
+            return 0.0
+        met = sum(1 for r in self.records if r.latency_s <= self.slo_s)
+        return met / len(self.records)
+
+    @property
+    def goodput(self) -> float:
+        """Tokens/s counting only requests that met the latency SLO."""
+        if self.makespan_s <= 0:
+            return 0.0
+        good = sum(
+            r.request.gen_len for r in self.records if r.latency_s <= self.slo_s
+        )
+        return good / self.makespan_s
+
+    def cost_usd(self, rates: dict[str, float] | None = None) -> float:
+        """Fleet cost of the run: every replica billed for the makespan."""
+        rates = rates or HARDWARE_COST_PER_HOUR
+        hours = self.makespan_s / 3600.0
+        return sum(
+            rates.get(stats.hardware, DEFAULT_COST_PER_HOUR) * hours
+            for stats in self.replicas
+        )
+
+    def cost_per_token(self, rates: dict[str, float] | None = None) -> float:
+        tokens = self.generated_tokens
+        if tokens == 0:
+            return 0.0
+        return self.cost_usd(rates) / tokens
+
+    @property
+    def expert_misses(self) -> int:
+        return sum(stats.expert_misses for stats in self.replicas)
+
+    # ---- rendering --------------------------------------------------------
+
+    def summary(self) -> str:
+        lines = [
+            f"cluster: {len(self.replicas)} replicas, router={self.router}, "
+            f"{len(self.records)} requests in {self.makespan_s:.1f} s",
+            f"throughput {self.throughput:.2f} tok/s, goodput "
+            f"{self.goodput:.2f} tok/s ({self.slo_attainment:.0%} of requests "
+            f"met the {self.slo_s:.0f} s SLO)",
+            f"TTFT mean {self.mean_ttft_s:.1f} s / p95 "
+            f"{self.percentile_ttft(95):.1f} s; latency p50 "
+            f"{self.percentile_latency(50):.1f} / p95 "
+            f"{self.percentile_latency(95):.1f} / p99 "
+            f"{self.percentile_latency(99):.1f} s",
+            f"cost ${self.cost_usd():.4f} "
+            f"(${1e3 * self.cost_per_token():.4f} per 1k tokens), "
+            f"{self.expert_misses} expert fetch misses",
+        ]
+        for stats in self.replicas:
+            lines.append(
+                f"  replica {stats.replica_id} [{stats.hardware}] "
+                f"{stats.requests} reqs in {stats.groups} groups, util "
+                f"{stats.utilization(self.makespan_s):.0%}, max queue "
+                f"{stats.max_queue_depth()}, misses {stats.expert_misses}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "router": self.router,
+            "slo_s": self.slo_s,
+            "num_replicas": len(self.replicas),
+            "num_requests": len(self.records),
+            "makespan_s": self.makespan_s,
+            "generated_tokens": self.generated_tokens,
+            "throughput_tok_s": self.throughput,
+            "goodput_tok_s": self.goodput,
+            "slo_attainment": self.slo_attainment,
+            "mean_latency_s": self.mean_latency_s,
+            "p50_latency_s": self.percentile_latency(50),
+            "p95_latency_s": self.percentile_latency(95),
+            "p99_latency_s": self.percentile_latency(99),
+            "mean_ttft_s": self.mean_ttft_s,
+            "p95_ttft_s": self.percentile_ttft(95),
+            "cost_usd": self.cost_usd(),
+            "cost_per_token_usd": self.cost_per_token(),
+            "expert_misses": self.expert_misses,
+            "replicas": [r.to_dict(self.makespan_s) for r in self.replicas],
+            "requests": [
+                {
+                    "request_id": r.request.request_id,
+                    "replica_id": r.replica_id,
+                    "arrival_s": r.request.arrival_s,
+                    "start_s": r.start_s,
+                    "completion_s": r.completion_s,
+                    "ttft_s": r.ttft_s,
+                    "latency_s": r.latency_s,
+                }
+                for r in self.records
+            ],
+        }

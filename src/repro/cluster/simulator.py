@@ -1,0 +1,231 @@
+"""Event-driven multi-replica cluster simulation.
+
+``ClusterSimulator`` drives N :class:`~repro.cluster.replica.Replica`
+objects — each wrapping any :class:`~repro.systems.InferenceSystem` on its
+own (possibly heterogeneous) hardware — against one shared request stream.
+
+Event model (see :mod:`repro.cluster.events`): a single time-ordered heap
+carries request *arrivals*, per-request batching *deadlines*, and group
+*completions*. On arrival the router picks a replica and the request joins
+its FIFO queue; a full group dispatches immediately, otherwise a deadline
+event guarantees the partial group dispatches at exactly
+``oldest.arrival_s + max_wait_s`` — the continuous group-formation loop
+that replaces the serial batch-wait logic of the single-machine server.
+Deadlines are validated lazily, so stale ones (their group already
+dispatched) are no-ops.
+
+Expert residency: when ``partition_experts`` is on, the fleet pins hot
+experts (popularity-rank order, :mod:`repro.routing.popularity`) round-robin
+across replicas' VRAM slots, so every hot expert is resident *somewhere*
+and the expert-affinity router can exploit it; otherwise each replica keeps
+whatever its own placement plan makes resident. All randomness lives in the
+request generators — the simulator itself is deterministic, so a fixed seed
+reproduces byte-identical reports across router policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.events import ARRIVAL, COMPLETION, DEADLINE, EventQueue
+from repro.cluster.replica import DispatchedGroup, Replica
+from repro.cluster.report import ClusterReport, ReplicaStats, RequestRecord
+from repro.cluster.routers import Router
+from repro.hardware.spec import HardwareSpec
+from repro.model.config import ModelConfig
+from repro.routing.popularity import zipf_weights
+from repro.routing.workload import Workload
+from repro.scenario import Scenario
+from repro.serving.requests import Request
+from repro.serving.server import BatchingConfig
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Fleet-level policy knobs.
+
+    Per-replica knobs (batching, the prompt-length memoization quantum)
+    live on :class:`~repro.cluster.replica.Replica` and are set through
+    :func:`build_cluster`.
+    """
+
+    slo_s: float = 120.0  # end-to-end latency bound for goodput accounting
+    partition_experts: bool = True  # shard hot-expert residency across replicas
+    expert_slots_per_replica: int | None = None  # None: derive from placement
+
+    def __post_init__(self):
+        if self.slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+
+
+def build_cluster(
+    model: ModelConfig,
+    environments: list[HardwareSpec],
+    batching: BatchingConfig,
+    *,
+    system_factory=None,
+    prompt_len: int = 512,
+    gen_len: int = 8,
+    seed: int = 0,
+    prompt_quantum: int = 64,
+) -> list[Replica]:
+    """Build one replica per environment, sharing a group-time cache.
+
+    ``system_factory`` is called once per replica (default: Klotski); pass
+    a list of factories for a mixed-system fleet.
+    """
+    if not environments:
+        raise ValueError("at least one environment is required")
+    if system_factory is None:
+        from repro.core.engine import KlotskiSystem
+
+        system_factory = KlotskiSystem
+    factories = (
+        system_factory
+        if isinstance(system_factory, list)
+        else [system_factory] * len(environments)
+    )
+    if len(factories) != len(environments):
+        raise ValueError("need one system factory per environment")
+    shared_cache: dict = {}
+    workload = Workload(
+        batching.batch_size, batching.group_batches, prompt_len, gen_len
+    )
+    return [
+        Replica(
+            replica_id=i,
+            scenario=Scenario(model, env, workload, seed=seed),
+            system=factory(),
+            batching=batching,
+            prompt_quantum=prompt_quantum,
+            shared_cache=shared_cache,
+        )
+        for i, (env, factory) in enumerate(zip(environments, factories))
+    ]
+
+
+class ClusterSimulator:
+    """Route one request stream across a fleet of replicas."""
+
+    def __init__(
+        self,
+        replicas: list[Replica],
+        router: Router,
+        config: ClusterConfig | None = None,
+    ):
+        if not replicas:
+            raise ValueError("at least one replica is required")
+        self.replicas = replicas
+        self.router = router
+        self.config = config or ClusterConfig()
+        self._assign_residency()
+
+    def _assign_residency(self) -> None:
+        """Pin expert residency per replica before any traffic flows."""
+        if not self.config.partition_experts:
+            for replica in self.replicas:
+                replica.resident_experts = replica.derive_resident_experts()
+            return
+        # Popularity-mass partition: expert index == popularity rank (the
+        # convention of assign_hot_experts). Experts are assigned hottest
+        # first to the replica with the least accumulated popularity mass
+        # and a free slot, so no replica owns a disproportionate share of
+        # the traffic its affinity attracts.
+        slots = []
+        for replica in self.replicas:
+            explicit = self.config.expert_slots_per_replica
+            slots.append(
+                explicit
+                if explicit is not None
+                else max(1, len(replica.derive_resident_experts()))
+            )
+        assigned: list[set[int]] = [set() for _ in self.replicas]
+        mass = [0.0] * len(self.replicas)
+        num_experts = min(r.scenario.model.num_experts for r in self.replicas)
+        weights = zipf_weights(num_experts, self.replicas[0].scenario.skew)
+        for expert in range(num_experts):
+            open_replicas = [
+                i for i, a in enumerate(assigned) if len(a) < slots[i]
+            ]
+            if not open_replicas:
+                break
+            target = min(open_replicas, key=lambda i: (mass[i], i))
+            assigned[target].add(expert)
+            mass[target] += float(weights[expert])
+        for replica, experts in zip(self.replicas, assigned):
+            replica.resident_experts = frozenset(experts)
+
+    # ---- event loop -------------------------------------------------------
+
+    def run(self, requests: list[Request]) -> ClusterReport:
+        """Simulate the stream to completion and aggregate the report."""
+        report = ClusterReport(router=self.router.name, slo_s=self.config.slo_s)
+        events = EventQueue()
+        for request in sorted(requests, key=lambda r: r.arrival_s):
+            events.push(request.arrival_s, ARRIVAL, request)
+
+        def dispatch(replica: Replica, now: float) -> None:
+            group = replica.dispatch(now)
+            events.push(group.completion_s, COMPLETION, (replica, group))
+            self._record(report, replica, group)
+
+        while events:
+            event = events.pop()
+            now = event.time
+            if event.kind == ARRIVAL:
+                request: Request = event.payload
+                replica = self.router.choose(request, self.replicas, now)
+                replica.enqueue(request, now)
+                if replica.group_ready():
+                    dispatch(replica, now)
+                else:
+                    events.push(
+                        request.arrival_s + replica.batching.max_wait_s,
+                        DEADLINE,
+                        replica,
+                    )
+            elif event.kind == DEADLINE:
+                replica = event.payload
+                if replica.queue and replica.oldest_deadline() <= now + _EPS:
+                    dispatch(replica, now)
+            else:  # COMPLETION
+                replica, group = event.payload
+                replica.complete(group)
+
+        report.makespan_s = max(
+            (r.free_at for r in self.replicas if r.groups), default=0.0
+        )
+        report.replicas = [self._replica_stats(r) for r in self.replicas]
+        return report
+
+    @staticmethod
+    def _record(
+        report: ClusterReport, replica: Replica, group: DispatchedGroup
+    ) -> None:
+        for request in group.requests:
+            report.records.append(
+                RequestRecord(
+                    request=request,
+                    replica_id=replica.replica_id,
+                    dispatch_s=group.dispatch_s,
+                    start_s=group.start_s,
+                    completion_s=group.completion_s,
+                    ttft_s=group.start_s + group.prefill_s - request.arrival_s,
+                )
+            )
+
+    @staticmethod
+    def _replica_stats(replica: Replica) -> ReplicaStats:
+        return ReplicaStats(
+            replica_id=replica.replica_id,
+            hardware=replica.hardware_name,
+            system=replica.system_name,
+            requests=sum(len(g.requests) for g in replica.groups),
+            groups=len(replica.groups),
+            busy_s=replica.busy_s,
+            expert_misses=replica.expert_misses,
+            resident_experts=tuple(sorted(replica.resident_experts)),
+            queue_depth_timeline=list(replica.queue_depth_timeline),
+        )

@@ -1,6 +1,14 @@
 """Serving layer: request streams, batching, and SLA metrics."""
 
-from repro.serving.requests import ArrivalConfig, Request, generate_requests
+from repro.serving.requests import (
+    ArrivalConfig,
+    BurstyConfig,
+    Request,
+    assign_hot_experts,
+    generate_bursty,
+    generate_requests,
+    replay_trace,
+)
 from repro.serving.server import (
     BatchingConfig,
     CompletedRequest,
@@ -10,8 +18,12 @@ from repro.serving.server import (
 
 __all__ = [
     "ArrivalConfig",
+    "BurstyConfig",
     "Request",
+    "assign_hot_experts",
+    "generate_bursty",
     "generate_requests",
+    "replay_trace",
     "BatchingConfig",
     "CompletedRequest",
     "Server",

@@ -1,27 +1,50 @@
 """Request streams for the serving-layer simulation.
 
 The engine's online phase consumes "request batches" (Figure 6 ❷); this
-module generates the request streams those batches are formed from —
-Poisson arrivals with variable prompt/output lengths — so the batch-group
-pipeline can be evaluated under serving conditions, not just fixed offline
-workloads.
+module generates the request streams those batches are formed from, so the
+batch-group pipeline can be evaluated under serving conditions, not just
+fixed offline workloads. Three arrival processes are provided:
+
+* **Poisson** (:func:`generate_requests`) — the classic open-loop model;
+* **bursty / MMPP** (:func:`generate_bursty`) — a two-state Markov-modulated
+  Poisson process alternating calm and burst phases, the standard stress
+  model for autoscaling and admission-control studies;
+* **trace replay** (:func:`replay_trace`) — arrival/length tuples from a
+  recorded trace (JSON file or in-memory records).
+
+Requests can additionally be tagged with a *hot expert* drawn from the
+Zipf popularity model of :mod:`repro.routing.popularity`
+(:func:`assign_hot_experts`); the cluster layer's expert-affinity router
+uses this tag to keep hot-expert traffic on replicas whose VRAM already
+holds those experts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
+
+from repro.routing.popularity import zipf_weights
 
 
 @dataclass(frozen=True)
 class Request:
-    """One inference request."""
+    """One inference request.
+
+    ``hot_expert`` is the request's dominant expert under the routing
+    popularity model (None when untagged); it is a routing *hint* for the
+    cluster layer, not a constraint on the model's gate.
+    """
 
     request_id: int
     arrival_s: float
     prompt_len: int
     gen_len: int
+    hot_expert: int | None = None
 
 
 @dataclass(frozen=True)
@@ -41,14 +64,47 @@ class ArrivalConfig:
             raise ValueError("prompt_len_spread must be in [0, 1)")
 
 
+@dataclass(frozen=True)
+class BurstyConfig:
+    """Two-state MMPP: calm periods at ``base_rate``, bursts at ``burst_rate``.
+
+    After each arrival the process flips state with probability
+    ``switch_prob``, so expected phase length is ``1 / switch_prob`` arrivals.
+    """
+
+    base_rate_per_s: float = 0.5
+    burst_rate_per_s: float = 5.0
+    switch_prob: float = 0.1
+    prompt_len_mean: int = 512
+    prompt_len_spread: float = 0.25
+    gen_len: int = 32
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.base_rate_per_s <= 0 or self.burst_rate_per_s <= 0:
+            raise ValueError("arrival rates must be positive")
+        if not 0 < self.switch_prob <= 1:
+            raise ValueError("switch_prob must be in (0, 1]")
+        if not 0 <= self.prompt_len_spread < 1:
+            raise ValueError("prompt_len_spread must be in [0, 1)")
+
+
+def _sample_prompts(
+    mean: int, spread: float, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    low = int(mean * (1 - spread))
+    high = int(mean * (1 + spread))
+    return rng.integers(max(1, low), max(2, high + 1), size=count)
+
+
 def generate_requests(config: ArrivalConfig, count: int) -> list[Request]:
-    """Deterministically sample ``count`` requests."""
+    """Deterministically sample ``count`` Poisson-arrival requests."""
     rng = np.random.default_rng(config.seed)
     gaps = rng.exponential(1.0 / config.rate_per_s, size=count)
     arrivals = np.cumsum(gaps)
-    low = int(config.prompt_len_mean * (1 - config.prompt_len_spread))
-    high = int(config.prompt_len_mean * (1 + config.prompt_len_spread))
-    prompts = rng.integers(max(1, low), max(2, high + 1), size=count)
+    prompts = _sample_prompts(
+        config.prompt_len_mean, config.prompt_len_spread, count, rng
+    )
     return [
         Request(
             request_id=i,
@@ -57,4 +113,89 @@ def generate_requests(config: ArrivalConfig, count: int) -> list[Request]:
             gen_len=config.gen_len,
         )
         for i in range(count)
+    ]
+
+
+def generate_bursty(config: BurstyConfig, count: int) -> list[Request]:
+    """Deterministically sample ``count`` requests from a two-state MMPP."""
+    rng = np.random.default_rng(config.seed)
+    arrivals = np.empty(count)
+    now = 0.0
+    bursting = False
+    for i in range(count):
+        rate = config.burst_rate_per_s if bursting else config.base_rate_per_s
+        now += float(rng.exponential(1.0 / rate))
+        arrivals[i] = now
+        if rng.random() < config.switch_prob:
+            bursting = not bursting
+    prompts = _sample_prompts(
+        config.prompt_len_mean, config.prompt_len_spread, count, rng
+    )
+    return [
+        Request(
+            request_id=i,
+            arrival_s=float(arrivals[i]),
+            prompt_len=int(prompts[i]),
+            gen_len=config.gen_len,
+        )
+        for i in range(count)
+    ]
+
+
+def replay_trace(
+    trace: str | Path | Iterable[Mapping | Sequence],
+) -> list[Request]:
+    """Build a request stream from a recorded trace.
+
+    ``trace`` is either a path to a JSON file containing a list of records,
+    or an in-memory iterable of records. Each record is a mapping with keys
+    ``arrival_s``, ``prompt_len``, ``gen_len`` (optional ``hot_expert``), or
+    a ``(arrival_s, prompt_len, gen_len)`` sequence. Requests are sorted by
+    arrival time and re-numbered.
+    """
+    if isinstance(trace, (str, Path)):
+        records = json.loads(Path(trace).read_text())
+    else:
+        records = list(trace)
+    parsed = []
+    for record in records:
+        if isinstance(record, Mapping):
+            parsed.append(
+                (
+                    float(record["arrival_s"]),
+                    int(record["prompt_len"]),
+                    int(record["gen_len"]),
+                    record.get("hot_expert"),
+                )
+            )
+        else:
+            arrival, prompt, gen = record[:3]
+            parsed.append((float(arrival), int(prompt), int(gen), None))
+    parsed.sort(key=lambda r: r[0])
+    return [
+        Request(
+            request_id=i,
+            arrival_s=arrival,
+            prompt_len=prompt,
+            gen_len=gen,
+            hot_expert=None if hot is None else int(hot),
+        )
+        for i, (arrival, prompt, gen, hot) in enumerate(parsed)
+    ]
+
+
+def assign_hot_experts(
+    requests: list[Request], num_experts: int, skew: float, seed: int = 0
+) -> list[Request]:
+    """Tag each request with a dominant expert drawn from Zipf popularity.
+
+    Mirrors the paper's §3.2 observation: a few hot experts absorb most
+    traffic. The expert *index* is its popularity rank (0 = hottest).
+    """
+    weights = zipf_weights(num_experts, skew)
+    rng = np.random.default_rng(seed)
+    draws = rng.choice(num_experts, size=len(requests), p=weights)
+    return [
+        replace(request, hot_expert=int(draw))
+        for request, draw in zip(requests, draws)
     ]

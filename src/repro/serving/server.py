@@ -38,6 +38,20 @@ class BatchingConfig:
         return self.batch_size * self.group_batches
 
 
+def group_shape(group: list[Request], batch_size: int) -> tuple[int, int, int]:
+    """``(n_batches, prompt_len, gen_len)`` of one dispatched batch group.
+
+    The group runs as ``ceil(len(group) / batch_size)`` batches padded to
+    the longest prompt and generation length it contains. Shared by the
+    single-machine server and the cluster replicas so both simulators
+    model group formation identically.
+    """
+    n_batches = max(1, -(-len(group) // batch_size))
+    prompt = max(r.prompt_len for r in group)
+    gen = max(r.gen_len for r in group)
+    return n_batches, prompt, gen
+
+
 @dataclass(frozen=True)
 class CompletedRequest:
     request: Request
@@ -119,7 +133,9 @@ class Server:
     def simulate(self, requests: list[Request]) -> ServingReport:
         """Process a request stream; returns per-request and aggregate
         metrics. Groups are dispatched when full or when the oldest queued
-        request has waited ``max_wait_s``."""
+        request has waited ``max_wait_s`` — the deadline fires at
+        ``oldest.arrival_s + max_wait_s`` even when no further arrival
+        advances the clock."""
         report = ServingReport()
         queue: list[Request] = []
         pending = sorted(requests, key=lambda r: r.arrival_s)
@@ -131,9 +147,7 @@ class Server:
             nonlocal machine_free
             group = queue[:capacity]
             del queue[:capacity]
-            n_batches = max(1, -(-len(group) // self.batching.batch_size))
-            prompt = max(r.prompt_len for r in group)
-            gen = max(r.gen_len for r in group)
+            n_batches, prompt, gen = group_shape(group, self.batching.batch_size)
             start = max(now, machine_free)
             duration = self._group_time(n_batches, prompt, gen)
             machine_free = start + duration
@@ -145,17 +159,22 @@ class Server:
             return machine_free
 
         while idx < len(pending) or queue:
-            if idx < len(pending):
+            if len(queue) >= capacity:
+                # The group filled at the arrival of its newest member.
+                dispatch(queue[capacity - 1].arrival_s)
+                continue
+            deadline = (
+                queue[0].arrival_s + self.batching.max_wait_s
+                if queue
+                else float("inf")
+            )
+            next_arrival = (
+                pending[idx].arrival_s if idx < len(pending) else float("inf")
+            )
+            if next_arrival <= deadline:
                 queue.append(pending[idx])
-                now = pending[idx].arrival_s
                 idx += 1
             else:
-                now = max(machine_free, queue[0].arrival_s + self.batching.max_wait_s)
-            while queue and (
-                len(queue) >= capacity
-                or (idx >= len(pending))
-                or now - queue[0].arrival_s >= self.batching.max_wait_s
-            ):
-                dispatch(now)
+                dispatch(deadline)
         report.makespan_s = machine_free
         return report

@@ -17,6 +17,7 @@ class TestPublicAPI:
     def test_subpackage_exports_resolve(self):
         import repro.analysis as analysis
         import repro.baselines as baselines
+        import repro.cluster as cluster
         import repro.compression as compression
         import repro.core as core
         import repro.hardware as hardware
@@ -26,7 +27,7 @@ class TestPublicAPI:
         import repro.serving as serving
 
         for module in (
-            analysis, baselines, compression, core, hardware, model,
+            analysis, baselines, cluster, compression, core, hardware, model,
             routing, runtime, serving,
         ):
             for name in module.__all__:
@@ -86,3 +87,77 @@ class TestCLICoverage:
         ])
         assert code == 0
         assert "tok/s" in capsys.readouterr().out
+
+    def test_run_json(self, capsys):
+        import json
+
+        code = main([
+            "run", "--batch-size", "4", "--gen-len", "2", "--n", "2", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["throughput"] > 0
+        assert "bubble_fraction" in payload
+
+    def test_compare_json(self, capsys):
+        import json
+
+        code = main([
+            "compare", "--batch-size", "4", "--gen-len", "2", "--n", "2",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {row["system"] for row in payload["systems"]}
+        assert "klotski" in names
+
+    def test_serve_command(self, capsys):
+        code = main([
+            "serve", "--replicas", "2", "--router", "expert-affinity",
+            "--requests", "8", "--batch-size", "4", "--gen-len", "2",
+            "--group-batches", "1", "--max-wait", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out and "replica 1" in out
+
+    def test_serve_json(self, capsys):
+        import json
+
+        code = main([
+            "serve", "--replicas", "2", "--router", "round-robin",
+            "--requests", "8", "--batch-size", "4", "--gen-len", "2",
+            "--group-batches", "1", "--max-wait", "10", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_replicas"] == 2
+        assert payload["num_requests"] == 8
+        assert payload["throughput_tok_s"] > 0
+
+    def test_serve_bursty_and_hetero(self, capsys):
+        code = main([
+            "serve", "--replicas", "2", "--envs", "env1,env2",
+            "--arrival", "bursty", "--requests", "8", "--batch-size", "4",
+            "--gen-len", "2", "--group-batches", "1", "--max-wait", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "env1-rtx3090" in out and "env2-h800" in out
+
+    def test_serve_trace_replay(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(
+            '[{"arrival_s": 0.0, "prompt_len": 64, "gen_len": 2},'
+            ' {"arrival_s": 0.5, "prompt_len": 64, "gen_len": 2}]'
+        )
+        code = main([
+            "serve", "--replicas", "1", "--trace", str(trace),
+            "--batch-size", "4", "--group-batches", "1", "--max-wait", "5",
+        ])
+        assert code == 0
+        assert "2 requests" in capsys.readouterr().out
+
+    def test_serve_unknown_env(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--envs", "env99", "--requests", "2"])

@@ -7,8 +7,15 @@ from repro.core.engine import KlotskiSystem
 from repro.serving import (
     ArrivalConfig,
     BatchingConfig,
+    BurstyConfig,
+    CompletedRequest,
+    Request,
     Server,
+    ServingReport,
+    assign_hot_experts,
+    generate_bursty,
     generate_requests,
+    replay_trace,
 )
 
 
@@ -118,3 +125,125 @@ class TestServer:
         report = server.simulate([])
         assert report.completed == []
         assert report.throughput == 0.0
+
+    def test_partial_group_dispatches_at_deadline(self, server):
+        """A lone partial group fires at oldest.arrival + max_wait_s even
+        when the next arrival is far in the future (regression: dispatch
+        used to wait for the next arrival to advance the clock)."""
+        requests = [
+            Request(0, 0.0, 32, 4),
+            Request(1, 1.0, 32, 4),
+            Request(2, 500.0, 32, 4),
+        ]
+        report = server.simulate(requests)
+        by_id = {c.request.request_id: c for c in report.completed}
+        max_wait = server.batching.max_wait_s
+        assert by_id[0].dispatch_s == pytest.approx(max_wait)
+        assert by_id[1].dispatch_s == pytest.approx(max_wait)
+        # the late request forms its own group at its own deadline
+        assert by_id[2].dispatch_s == pytest.approx(500.0 + max_wait)
+
+    def test_full_group_dispatches_at_fill_time(self, server):
+        capacity = server.batching.group_capacity
+        requests = [Request(i, float(i), 32, 4) for i in range(capacity)]
+        report = server.simulate(requests)
+        fill_time = float(capacity - 1)
+        assert all(
+            c.dispatch_s == pytest.approx(fill_time) for c in report.completed
+        )
+
+
+class TestServingReportEdges:
+    def test_empty_report(self):
+        report = ServingReport()
+        assert report.mean_latency_s == 0.0
+        assert report.percentile_latency(99) == 0.0
+        assert report.throughput == 0.0
+        assert "0 requests" in report.summary()
+
+    def test_single_request(self):
+        request = Request(0, 0.0, 32, 4)
+        report = ServingReport(
+            completed=[CompletedRequest(request, 1.0, 3.0)],
+            busy_s=2.0,
+            makespan_s=3.0,
+        )
+        assert report.mean_latency_s == pytest.approx(3.0)
+        assert report.throughput == pytest.approx(4 / 3.0)
+
+    def test_percentile_on_one_sample(self):
+        request = Request(0, 0.0, 32, 4)
+        report = ServingReport(completed=[CompletedRequest(request, 1.0, 3.0)])
+        for q in (0, 50, 95, 99, 100):
+            assert report.percentile_latency(q) == pytest.approx(3.0)
+
+
+class TestBurstyArrivals:
+    def test_count_order_determinism(self):
+        config = BurstyConfig(seed=5)
+        a = generate_bursty(config, 30)
+        b = generate_bursty(config, 30)
+        assert a == b
+        arrivals = [r.arrival_s for r in a]
+        assert arrivals == sorted(arrivals)
+        assert len(a) == 30
+
+    def test_burstier_than_poisson(self):
+        """MMPP inter-arrival gaps have a higher coefficient of variation."""
+        bursty = generate_bursty(
+            BurstyConfig(base_rate_per_s=0.2, burst_rate_per_s=20.0, seed=1), 300
+        )
+        poisson = generate_requests(ArrivalConfig(rate_per_s=1.0, seed=1), 300)
+
+        def cv(requests):
+            gaps = np.diff([r.arrival_s for r in requests])
+            return gaps.std() / gaps.mean()
+
+        assert cv(bursty) > cv(poisson)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyConfig(base_rate_per_s=0)
+        with pytest.raises(ValueError):
+            BurstyConfig(switch_prob=0)
+
+
+class TestTraceReplay:
+    def test_from_records(self):
+        requests = replay_trace(
+            [
+                {"arrival_s": 2.0, "prompt_len": 64, "gen_len": 8},
+                {"arrival_s": 0.5, "prompt_len": 32, "gen_len": 4,
+                 "hot_expert": 3},
+                (1.0, 48, 6),
+            ]
+        )
+        assert [r.arrival_s for r in requests] == [0.5, 1.0, 2.0]
+        assert [r.request_id for r in requests] == [0, 1, 2]
+        assert requests[0].hot_expert == 3
+        assert requests[1].hot_expert is None
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(
+            '[{"arrival_s": 0.0, "prompt_len": 16, "gen_len": 2},'
+            ' {"arrival_s": 1.5, "prompt_len": 24, "gen_len": 2}]'
+        )
+        requests = replay_trace(path)
+        assert len(requests) == 2
+        assert requests[1].arrival_s == 1.5
+
+
+class TestHotExpertTagging:
+    def test_deterministic_and_in_range(self):
+        requests = generate_requests(ArrivalConfig(seed=1), 40)
+        a = assign_hot_experts(requests, num_experts=8, skew=1.2, seed=3)
+        b = assign_hot_experts(requests, num_experts=8, skew=1.2, seed=3)
+        assert a == b
+        assert all(0 <= r.hot_expert < 8 for r in a)
+
+    def test_skew_favours_low_ranks(self):
+        requests = generate_requests(ArrivalConfig(seed=1), 400)
+        tagged = assign_hot_experts(requests, num_experts=8, skew=1.5, seed=0)
+        counts = np.bincount([r.hot_expert for r in tagged], minlength=8)
+        assert counts[0] == counts.max()
