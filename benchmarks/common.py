@@ -1,11 +1,14 @@
 """Shared configuration for the benchmark harness.
 
-Every table and figure of the paper's evaluation (§9) has one bench module;
-they share the scenario definitions and scale settings here. By default the
-benches run a reduced operating point (shorter generation, smaller batch
-group, three batch sizes) so the whole harness completes in minutes; set
-``REPRO_FULL=1`` for the paper's full scale (batch sizes 4-64, output
-length 32, n = 15 / n = 10 for Mixtral-8x22B on Env1).
+The paper's evaluation is *defined* in :mod:`repro.experiments.paper`
+(one registered spec per table/figure); the bench modules here are thin
+wrappers that run those specs through the cache-backed
+:class:`~repro.experiments.Runner` and assert the qualitative shape. By
+default the reduced operating point is used so the whole harness
+completes in minutes; set ``REPRO_FULL=1`` for the paper's full scale
+(batch sizes 4-64, output length 32, n = 15 / n = 10 for Mixtral-8x22B
+on Env1). Cell results are cached in ``.repro-cache/`` (override with
+``REPRO_CACHE_DIR``), so re-runs only compute what changed.
 """
 
 from __future__ import annotations
@@ -13,22 +16,37 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from repro.hardware.spec import ENV1, ENV2, HardwareSpec
-from repro.model.config import MIXTRAL_8X7B, MIXTRAL_8X22B, ModelConfig
+from repro.experiments import ArtifactStore, ExperimentRun, Runner
+from repro.experiments.paper import (
+    EVAL_SCENARIOS,
+    PROMPT_LEN,
+    SEED,
+    eval_batch_sizes,
+    eval_gen_len,
+)
+from repro.hardware.spec import ENVIRONMENTS, HardwareSpec
+from repro.model.config import MODELS, ModelConfig
 from repro.routing.workload import Workload
 from repro.scenario import Scenario
 
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
 
-BATCH_SIZES = [4, 8, 16, 32, 64] if FULL else [4, 16, 64]
-GEN_LEN = 32 if FULL else 8
-PROMPT_LEN = 512
-SEED = 1
+BATCH_SIZES = eval_batch_sizes(FULL)
+GEN_LEN = eval_gen_len(FULL)
+
+_RUNNER = Runner(ArtifactStore(), full=FULL)
+
+
+def run_experiment(name: str) -> ExperimentRun:
+    """Run a registered experiment at this session's operating point."""
+    return _RUNNER.run_experiment(name)
 
 
 @dataclass(frozen=True)
 class EvalScenario:
-    """One of the paper's three evaluation columns (Figure 10)."""
+    """One of the paper's three evaluation columns, operating point
+    applied (the bench-facing view of
+    :class:`repro.experiments.paper.EvalScenario`)."""
 
     key: str
     model: ModelConfig
@@ -43,9 +61,10 @@ class EvalScenario:
 
 
 SCENARIOS = [
-    EvalScenario("8x7b-env1", MIXTRAL_8X7B, ENV1, 15 if FULL else 6),
-    EvalScenario("8x22b-env1", MIXTRAL_8X22B, ENV1, 10 if FULL else 5),
-    EvalScenario("8x22b-env2", MIXTRAL_8X22B, ENV2, 15 if FULL else 6),
+    EvalScenario(
+        s.key, MODELS[s.model_name], ENVIRONMENTS[s.env_name], s.n(FULL)
+    )
+    for s in EVAL_SCENARIOS
 ]
 
 SCENARIO_BY_KEY = {s.key: s for s in SCENARIOS}

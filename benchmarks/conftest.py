@@ -1,12 +1,15 @@
 """Benchmark harness plumbing: result caching and report emission.
 
-Each bench computes the rows/series of one paper table or figure, registers
-the rendered text via :func:`record_report`, and asserts the qualitative
-shape. Reports are written to ``benchmarks/results/*.txt`` and echoed in
-the terminal summary so they land in ``bench_output.txt``.
+Each bench materializes the rows/series of one paper table or figure by
+running the registered experiment (``repro.experiments``) through the
+shared artifact cache, registers the rendered text via
+:func:`record_report`, and asserts the qualitative shape. Reports are
+written to ``benchmarks/results/*.txt`` and echoed in the terminal
+summary so they land in ``bench_output.txt``.
 
-The end-to-end grid (all systems x batch sizes x scenarios) is computed
-once per session and shared by the Figure 10 / Figure 11 benches.
+The end-to-end grid (all systems x batch sizes x scenarios) is one
+experiment (``fig10``) whose content-addressed cells are shared with the
+Figure 11 bench and with ``repro.cli experiments run``.
 """
 
 from __future__ import annotations
@@ -18,11 +21,9 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import BATCH_SIZES, SCENARIOS  # noqa: E402
+from common import run_experiment  # noqa: E402
 
-from repro.analysis.reporting import ResultGrid  # noqa: E402
-from repro.baselines import ALL_BASELINES  # noqa: E402
-from repro.core.engine import KlotskiOptions, KlotskiSystem  # noqa: E402
+from repro.experiments.paper import fold_e2e  # noqa: E402
 
 RESULTS_DIR = Path(__file__).parent / "results"
 _REPORTS: list[tuple[str, str]] = []
@@ -44,36 +45,10 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line(text)
 
 
-def all_systems():
-    """Klotski, Klotski(q), and the five paper baselines."""
-    return [
-        KlotskiSystem(),
-        KlotskiSystem(KlotskiOptions(quantize=True)),
-        *[cls() for cls in ALL_BASELINES],
-    ]
-
-
 @pytest.fixture(scope="session")
 def e2e_results():
     """(scenario key -> throughput grid, latency grid) for every system.
 
     This is the Figure 10 data; Figure 11 reuses the latency side.
     """
-    throughput: dict[str, ResultGrid] = {}
-    latency: dict[str, ResultGrid] = {}
-    for eval_scenario in SCENARIOS:
-        tp = ResultGrid(f"Throughput (tok/s) — {eval_scenario.key}", "batch size")
-        lat = ResultGrid(f"Latency (s) — {eval_scenario.key}", "batch size")
-        for batch_size in BATCH_SIZES:
-            scenario = eval_scenario.scenario(batch_size)
-            for system in all_systems():
-                result = system.run_safe(scenario)
-                if result.oom:
-                    tp.add_oom(system.name, batch_size)
-                    lat.add_oom(system.name, batch_size)
-                else:
-                    tp.add(system.name, batch_size, result.throughput)
-                    lat.add(system.name, batch_size, result.latency_s)
-        throughput[eval_scenario.key] = tp
-        latency[eval_scenario.key] = lat
-    return throughput, latency
+    return fold_e2e(run_experiment("fig10"))

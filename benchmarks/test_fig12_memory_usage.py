@@ -6,66 +6,40 @@ weights streamed, minimal footprint — the blue line) and "Further Use
 Memory" (spare VRAM spent on residency — the green line). The paper
 reports >= 94.1 % reduction vs the original requirement for complete
 offloading and ~74.5 % for the further-use mode on Mixtral-8x22B/H800.
+
+Thin wrapper over the registered ``fig12`` experiment; each cell carries
+the per-GPU-op VRAM samples plus the model/limit reference sizes.
 """
 
 import pytest
 
-from common import SCENARIO_BY_KEY
+from common import run_experiment
 
 from conftest import record_report
 
-from repro.core.engine import KlotskiOptions, KlotskiSystem
+from repro.experiments.paper import fold_by_axes
 
 GiB = 1 << 30
 
 
-def prefill_usage(result):
-    """VRAM usage sampled at each GPU op start during the prefill."""
-    timeline = result.timeline
-    prefill_end = timeline.executed[result.build.step_last_op[0]].end
-    samples = []
-    for e in timeline.ops_on("gpu"):
-        if e.start > prefill_end:
-            break
-        samples.append(timeline.memory_at("vram", e.start))
-    return samples
-
-
-def run_mode(key: str, use_spare: bool):
-    eval_scenario = SCENARIO_BY_KEY[key]
-    scenario = eval_scenario.scenario(16, gen_len=2)
-    system = KlotskiSystem(
-        KlotskiOptions(use_spare_vram=use_spare),
-        name="further-use" if use_spare else "complete-offload",
-    )
-    wl = scenario.workload.with_batches(eval_scenario.n)
-    return system.run(scenario.with_workload(wl))
-
-
 @pytest.fixture(scope="module")
 def traces():
-    out = {}
-    for key in ("8x7b-env1", "8x22b-env2"):
-        out[key] = {
-            "complete": run_mode(key, use_spare=False),
-            "further": run_mode(key, use_spare=True),
-        }
-    return out
+    """scenario key -> {mode -> cell result dict}."""
+    return fold_by_axes(run_experiment("fig12"), "scenario", "mode")
 
 
 def test_fig12_memory_curves(benchmark, traces):
     def render():
         lines = []
         for key, modes in traces.items():
-            model = SCENARIO_BY_KEY[key].model
-            original = model.total_bytes()
+            original = next(iter(modes.values()))["original_bytes"]
+            limit = next(iter(modes.values()))["vram_bytes"]
             lines.append(f"GPU memory over prefill — {key}")
             lines.append(f"  original requirement (all weights): {original / GiB:7.1f} GiB")
-            limit = SCENARIO_BY_KEY[key].hardware.vram_bytes
             lines.append(f"  GPU memory limit:                   {limit / GiB:7.1f} GiB")
             for mode, result in modes.items():
-                samples = prefill_usage(result)
-                peak = max(samples)
+                samples = result["samples_bytes"]
+                peak = result["peak_bytes"]
                 step = max(1, len(samples) // 8)
                 curve = " ".join(f"{s / GiB:5.1f}" for s in samples[::step][:8])
                 lines.append(
@@ -84,12 +58,10 @@ def test_complete_offload_huge_reduction(benchmark, traces):
     """Paper: complete offloading cuts memory by over 94.1 %."""
 
     def reductions():
-        out = {}
-        for key, modes in traces.items():
-            original = SCENARIO_BY_KEY[key].model.total_bytes()
-            peak = max(prefill_usage(modes["complete"]))
-            out[key] = 1 - peak / original
-        return out
+        return {
+            key: 1 - modes["complete"]["peak_bytes"] / modes["complete"]["original_bytes"]
+            for key, modes in traces.items()
+        }
 
     red = benchmark.pedantic(reductions, rounds=1, iterations=1)
     assert all(v > 0.80 for v in red.values()), red
@@ -100,11 +72,11 @@ def test_further_use_sits_between(benchmark, traces):
     offloading, below the GPU limit, still well below the model size."""
 
     def check():
-        for key, modes in traces.items():
-            limit = SCENARIO_BY_KEY[key].hardware.usable_vram()
-            original = SCENARIO_BY_KEY[key].model.total_bytes()
-            complete = max(prefill_usage(modes["complete"]))
-            further = max(prefill_usage(modes["further"]))
+        for modes in traces.values():
+            limit = modes["further"]["usable_vram_bytes"]
+            original = modes["further"]["original_bytes"]
+            complete = modes["complete"]["peak_bytes"]
+            further = modes["further"]["peak_bytes"]
             assert further >= complete
             assert further <= limit
             assert further < original
@@ -115,10 +87,10 @@ def test_further_use_sits_between(benchmark, traces):
 
 def test_usage_below_gpu_limit_throughout(benchmark, traces):
     def check():
-        for key, modes in traces.items():
-            limit = SCENARIO_BY_KEY[key].hardware.usable_vram()
+        for modes in traces.values():
             for result in modes.values():
-                assert all(s <= limit for s in prefill_usage(result))
+                limit = result["usable_vram_bytes"]
+                assert all(s <= limit for s in result["samples_bytes"])
         return True
 
     assert benchmark.pedantic(check, rounds=1, iterations=1)

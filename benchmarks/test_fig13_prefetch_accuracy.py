@@ -10,60 +10,36 @@ Two per-layer curves from a Klotski run on Mixtral-8x7B:
 
 The paper also contrasts a single-sequence prefetcher (42.24 % average
 participation) to show why multi-batch aggregation matters.
+
+Thin wrapper over the registered ``fig13`` experiment (modes ``multi``
+and ``single``).
 """
 
-import numpy as np
 import pytest
 
-from common import SCENARIO_BY_KEY
+from common import run_experiment
 
 from conftest import record_report
 
-from repro.core.engine import KlotskiSystem, warm_up_prefetcher
-from repro.core.prefetcher import ExpertPrefetcher
+from repro.experiments.paper import fold_by_axis
 
 
 @pytest.fixture(scope="module")
-def klotski_run():
-    eval_scenario = SCENARIO_BY_KEY["8x7b-env1"]
-    scenario = eval_scenario.scenario(16)
-    return KlotskiSystem().run(scenario), scenario
+def accuracy():
+    """mode ("multi" / "single") -> cell result dict."""
+    return fold_by_axis(run_experiment("fig13"), "mode")
 
 
-def single_sequence_stats(scenario):
-    """Drive the same prefetcher with one token in flight per step."""
-    prefetcher = ExpertPrefetcher(
-        scenario.model.num_layers,
-        scenario.model.num_experts,
-        top_k=scenario.model.top_k,
-    )
-    warm_up_prefetcher(scenario, prefetcher)
-    router = scenario.make_oracle().router
-    rng = np.random.default_rng(11)
-    for _ in range(16):
-        prefetcher.begin_step()
-        prev = None
-        for layer in range(scenario.model.num_layers):
-            predicted = prefetcher.predict(layer)
-            pool = router.sample_pool(layer, rng)
-            a = router.sample_layer(layer, prev, 1, rng, pool)
-            prefetcher.observe(layer, a, predicted)
-            prev = a[:, 0]
-    return prefetcher.stats
-
-
-def test_fig13_per_layer_accuracy(benchmark, klotski_run):
-    result, _ = klotski_run
-
+def test_fig13_per_layer_accuracy(benchmark, accuracy):
     def render():
-        stats = result.prefetcher.stats
-        hot = stats.hot_accuracy()
-        part = stats.participation_rate()
+        multi = accuracy["multi"]
+        hot, part = multi["hot"], multi["participation"]
         lines = [f"{'layer':>5} {'really hot':>12} {'participate':>12}"]
         for layer in range(len(hot)):
             lines.append(f"{layer:>5} {hot[layer]:>12.2f} {part[layer]:>12.2f}")
         lines.append(
-            f"{'mean':>5} {hot.mean():>12.2f} {part.mean():>12.2f}"
+            f"{'mean':>5} {multi['hot_mean']:>12.2f} "
+            f"{multi['participation_mean']:>12.2f}"
         )
         return "\n".join(lines)
 
@@ -72,35 +48,25 @@ def test_fig13_per_layer_accuracy(benchmark, klotski_run):
     assert "really hot" in text
 
 
-def test_participation_near_100_percent(benchmark, klotski_run):
-    result, _ = klotski_run
-
-    def value():
-        return result.prefetcher.stats.participation_rate().mean()
-
-    participation = benchmark.pedantic(value, rounds=1, iterations=1)
+def test_participation_near_100_percent(benchmark, accuracy):
+    participation = benchmark.pedantic(
+        lambda: accuracy["multi"]["participation_mean"], rounds=1, iterations=1
+    )
     assert participation > 0.95  # paper: 100 %
 
 
-def test_hot_accuracy_in_paper_band(benchmark, klotski_run):
-    result, _ = klotski_run
-
-    def value():
-        return result.prefetcher.stats.hot_accuracy().mean()
-
-    accuracy = benchmark.pedantic(value, rounds=1, iterations=1)
+def test_hot_accuracy_in_paper_band(benchmark, accuracy):
+    value = benchmark.pedantic(
+        lambda: accuracy["multi"]["hot_mean"], rounds=1, iterations=1
+    )
     # Paper average: 58.89 %, varying 0.3-1.0 across layers.
-    assert 0.35 < accuracy <= 1.0
+    assert 0.35 < value <= 1.0
 
 
-def test_single_sequence_much_worse(benchmark, klotski_run):
-    _, scenario = klotski_run
-
-    def values():
-        single = single_sequence_stats(scenario)
-        return single.participation_rate().mean()
-
-    single_participation = benchmark.pedantic(values, rounds=1, iterations=1)
+def test_single_sequence_much_worse(benchmark, accuracy):
+    single_participation = benchmark.pedantic(
+        lambda: accuracy["single"]["participation_mean"], rounds=1, iterations=1
+    )
     record_report(
         "fig13_single_sequence",
         f"single-sequence prefetch participation: {single_participation:.1%} "

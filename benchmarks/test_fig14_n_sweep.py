@@ -5,37 +5,26 @@ Mixtral-8x22B/Env2 (the paper skips 8x22B/Env1 for GPU-hour reasons; so do
 we). Expected shape: throughput rises steeply while bubbles are being
 filled, larger batch sizes rise faster, and the curve flattens once the
 pipeline is near bubble-free.
-"""
 
-import os
+Thin wrapper over the registered ``fig14`` experiment (the ``e2e`` cell
+grid restricted to Klotski, swept over n).
+"""
 
 import pytest
 
-from common import FULL, SCENARIO_BY_KEY
+from common import BATCH_SIZES, FULL, run_experiment
 
 from conftest import record_report
 
-from repro.analysis.reporting import ResultGrid
-from repro.core.engine import KlotskiSystem
+from repro.experiments.paper import fig14_n_values, fold_fig14
 
-N_VALUES = list(range(3, 16)) if FULL else [3, 6, 9, 12, 15]
-BATCH_SIZES = [4, 8, 16, 32, 64] if FULL else [4, 16, 64]
-KEYS = ("8x7b-env1", "8x22b-env2")
+N_VALUES = fig14_n_values(FULL)
 
 
 @pytest.fixture(scope="module")
 def sweep():
-    grids = {}
-    for key in KEYS:
-        grid = ResultGrid(f"Throughput (tok/s) vs n — {key}", "n")
-        for batch_size in BATCH_SIZES:
-            for n in N_VALUES:
-                scenario = SCENARIO_BY_KEY[key].scenario(batch_size)
-                wl = scenario.workload.with_batches(n)
-                result = KlotskiSystem().run(scenario.with_workload(wl))
-                grid.add(f"bs={batch_size}", n, result.metrics.throughput)
-        grids[key] = grid
-    return grids
+    """scenario key -> ResultGrid with one bs=<b> row per batch size."""
+    return fold_fig14(run_experiment("fig14"))
 
 
 def test_fig14_rendered(benchmark, sweep):

@@ -4,60 +4,43 @@ Reproduces the per-block comparison at batch size 64, n = 10 on
 Mixtral-8x7B/Env1: the simple overlap method needs ~2367 ms where Klotski
 needs ~215 ms for the identical workload, an ~11x gap, because Klotski
 eliminates inter-layer gaps and overlaps expert I/O with expert compute.
+
+Thin wrapper over the registered ``fig15`` experiment; each cell carries
+the decode-step window length, bubble fractions, and the rendered ASCII
+timeline of its variant.
 """
 
 import pytest
 
-from common import SCENARIO_BY_KEY
+from common import run_experiment
 
 from conftest import record_report
 
-from repro.analysis.bubbles import analyze_bubbles
-from repro.analysis.plots import render_timeline
-from repro.core.engine import KlotskiOptions, KlotskiSystem
-from repro.core.pipeline import PipelineFeatures
-from repro.runtime.schedule import D2H, GPU, H2D, H2D_OD
+from repro.experiments.paper import fold_by_axis
 
 N = 10
-BATCH_SIZE = 64
 
 
 @pytest.fixture(scope="module")
 def runs():
-    scenario = SCENARIO_BY_KEY["8x7b-env1"].scenario(BATCH_SIZE, gen_len=4)
-    scenario = scenario.with_workload(scenario.workload.with_batches(N))
-    simple = KlotskiSystem(
-        KlotskiOptions(features=PipelineFeatures.simple_pipeline(), warmup_steps=0),
-        name="simple-overlap",
-    )
-    simple.sequential = True  # one batch at a time
-    return {
-        "simple": simple.run(scenario),
-        "klotski": KlotskiSystem().run(scenario),
-    }
-
-
-def step_window(result, step):
-    timeline = result.timeline
-    start = timeline.executed[result.build.step_last_op[step - 1]].end
-    end = timeline.executed[result.build.step_last_op[step]].end
-    return start, end
+    """variant ("simple" / "klotski") -> cell result dict."""
+    return fold_by_axis(run_experiment("fig15"), "variant")
 
 
 def test_fig15_timelines(benchmark, runs):
     def render():
         lines = []
-        for name, result in runs.items():
-            start, end = step_window(result, 2)
-            per = "1 batch" if name == "simple" else f"{N} batches"
-            lines.append(f"{name}: one decode step ({per}), "
-                         f"{(end - start) * 1e3:.0f} ms")
-            lines.append(
-                render_timeline(
-                    result.timeline, start=start, end=end,
-                    resources=(GPU, H2D, H2D_OD, D2H), width=96,
-                )
+        for name, variant in (("simple", "simple"), ("klotski", "klotski")):
+            result = runs[variant]
+            per = (
+                "1 batch"
+                if result["batches_per_step"] == 1
+                else f"{result['batches_per_step']} batches"
             )
+            lines.append(
+                f"{name}: one decode step ({per}), {result['step_ms']:.0f} ms"
+            )
+            lines.append(result["timeline"])
             lines.append("")
         lines.append("legend: a=attention g=gate e=expert t=transfer k=KV")
         return "\n".join(lines)
@@ -73,10 +56,8 @@ def test_identical_workload_large_gap(benchmark, runs):
     def ratio():
         # Same workload: N batches processed. The simple pipeline handles
         # one batch per step window, so scale it by N.
-        s_start, s_end = step_window(runs["simple"], 2)
-        k_start, k_end = step_window(runs["klotski"], 2)
-        simple_per_group = (s_end - s_start) * N
-        klotski_per_group = k_end - k_start
+        simple_per_group = runs["simple"]["step_ms"] * N
+        klotski_per_group = runs["klotski"]["step_ms"]
         return simple_per_group / klotski_per_group
 
     factor = benchmark.pedantic(ratio, rounds=1, iterations=1)
@@ -90,10 +71,7 @@ def test_identical_workload_large_gap(benchmark, runs):
 
 def test_klotski_near_bubble_free(benchmark, runs):
     def fractions():
-        return {
-            name: analyze_bubbles(result.timeline).bubble_fraction
-            for name, result in runs.items()
-        }
+        return {name: result["bubble_fraction"] for name, result in runs.items()}
 
     frac = benchmark.pedantic(fractions, rounds=1, iterations=1)
     record_report(
@@ -107,8 +85,7 @@ def test_klotski_near_bubble_free(benchmark, runs):
 def test_no_inter_layer_bubbles_left(benchmark, runs):
     """§9.8: Klotski eliminates the gaps between attention and MoE layers."""
 
-    def inter():
-        report = analyze_bubbles(runs["klotski"].timeline)
-        return report.inter_layer / max(report.total_time, 1e-9)
-
-    assert benchmark.pedantic(inter, rounds=1, iterations=1) < 0.02
+    value = benchmark.pedantic(
+        lambda: runs["klotski"]["inter_layer_fraction"], rounds=1, iterations=1
+    )
+    assert value < 0.02

@@ -6,63 +6,34 @@ routing substrate (full scale) and from the real numpy model (scaled),
 and checks the paper's observations: a few experts take most tokens,
 top-K coverage is high (e.g. 53.7 % for top-2 at one Mixtral layer), and
 the hot set varies per layer.
+
+Thin wrapper over the registered ``fig5`` experiment (sources = three
+synthetic routing traces + the scaled real model).
 """
 
 import numpy as np
 import pytest
 
+from common import run_experiment
+
 from conftest import record_report
 
-from repro.model.config import MIXTRAL_8X7B, SWITCH_BASE_8, SWITCH_BASE_16
-from repro.model.tokenizer import synthetic_corpus
-from repro.model.transformer import MoETransformer
-from repro.routing.synthetic import RoutingModelConfig, SyntheticRouter
-from repro.routing.trace import ExpertTrace, StepTrace
+from repro.experiments.paper import ascii_heatmap, fold_by_axis
 
-MODELS = [MIXTRAL_8X7B, SWITCH_BASE_8, SWITCH_BASE_16]
-
-
-def sample_trace(model, tokens=2048, steps=4, seed=2) -> ExpertTrace:
-    router = SyntheticRouter(
-        RoutingModelConfig(
-            num_layers=model.num_layers,
-            num_experts=model.num_experts,
-            top_k=model.top_k,
-            seed=seed,
-        )
-    )
-    trace = ExpertTrace(model.num_experts)
-    rng = np.random.default_rng(seed)
-    for _ in range(steps):
-        step = StepTrace()
-        for a in router.sample_step(tokens, rng):
-            step.append(a)
-        trace.append(step)
-    return trace
-
-
-def ascii_heatmap(popularity: np.ndarray, name: str) -> str:
-    shades = " .:-=+*#%@"
-    peak = popularity.max() + 1e-12
-    lines = [f"Expert popularity — {name} (rows = experts, cols = layers)"]
-    for expert in range(popularity.shape[1]):
-        cells = "".join(
-            shades[min(int(v / peak * 9), 9)] for v in popularity[:, expert]
-        )
-        lines.append(f"e{expert:<3}|{cells}|")
-    return "\n".join(lines)
+TRACE_SOURCES = ["mixtral-8x7b", "switch-base-8", "switch-base-16"]
 
 
 @pytest.fixture(scope="module")
 def traces():
-    return {m.name: sample_trace(m) for m in MODELS}
+    """source -> cell result dict (popularity, coverage, distinct hot)."""
+    return fold_by_axis(run_experiment("fig5"), "source")
 
 
 def test_fig5_heatmaps(benchmark, traces):
     def render():
         return "\n\n".join(
-            ascii_heatmap(traces[m.name].popularity()[:, : m.num_experts].T.T, m.name)
-            for m in MODELS
+            ascii_heatmap(np.array(traces[source]["popularity"]), source)
+            for source in TRACE_SOURCES
         )
 
     text = benchmark.pedantic(render, rounds=1, iterations=1)
@@ -75,8 +46,7 @@ def test_topk_coverage_majority(benchmark, traces):
 
     def coverages():
         return {
-            m.name: traces[m.name].topk_coverage(max(2, m.top_k)).mean()
-            for m in MODELS
+            source: traces[source]["topk_coverage_mean"] for source in TRACE_SOURCES
         }
 
     cov = benchmark.pedantic(coverages, rounds=1, iterations=1)
@@ -90,24 +60,16 @@ def test_topk_coverage_majority(benchmark, traces):
 
 def test_hot_sets_vary_by_layer(benchmark, traces):
     def distinct_hot():
-        return {
-            name: len(set(trace.popularity().argmax(axis=1).tolist()))
-            for name, trace in traces.items()
-        }
+        return {source: traces[source]["distinct_hot"] for source in TRACE_SOURCES}
 
     hot = benchmark.pedantic(distinct_hot, rounds=1, iterations=1)
     assert all(v > 1 for v in hot.values())
 
 
-def test_real_model_shows_same_skew(benchmark):
+def test_real_model_shows_same_skew(benchmark, traces):
     """The scaled numpy Mixtral reproduces the skew from actual gating."""
 
-    def run():
-        cfg = MIXTRAL_8X7B.scaled(1 / 64, name="mixtral-mini")
-        model = MoETransformer(cfg, seed=0, router_skew=1.2)
-        prompts = synthetic_corpus(4, 12, cfg.vocab_size, seed=1)
-        result = model.generate(prompts, 4)
-        return result.trace.topk_coverage(2).mean()
-
-    coverage = benchmark.pedantic(run, rounds=1, iterations=1)
+    coverage = benchmark.pedantic(
+        lambda: traces["real-mini"]["topk_coverage_mean"], rounds=1, iterations=1
+    )
     assert coverage > 0.4

@@ -5,57 +5,29 @@ The paper applies the dense-model overlap strategy (share weights across a
 batch group, prefetch the next layer) to OPT-1.3B / OPT-6.7B and to
 decoder-only switch-base-16 / switch-base-128 at batch size 4, sequence 512,
 and finds ~200-270 % improvements for dense vs ~110-190 % for MoE.
+
+Thin wrapper over the registered ``table1`` experiment
+(:mod:`repro.experiments.paper`); each cell is an (original, strategy)
+variant of one model, measured with offloading active.
 """
 
 import pytest
 
-from common import GEN_LEN, SEED
+from common import run_experiment
 
 from conftest import record_report
 
-from repro.core.engine import KlotskiOptions, KlotskiSystem
-from repro.core.pipeline import PipelineFeatures
-from repro.hardware.spec import ENV1
-from repro.model.config import OPT_1_3B, OPT_6_7B, SWITCH_BASE_16, SWITCH_BASE_128
-from repro.routing.workload import Workload
-from repro.scenario import Scenario
-
-MODELS = [OPT_1_3B, OPT_6_7B, SWITCH_BASE_16, SWITCH_BASE_128]
-N_BATCHES = 6
-
-
-def run_pair(model):
-    """(original, with-strategy) throughput for one model.
-
-    The paper's Table 1 measures these small models *with offloading
-    active* (that is the point of the study), so residency in spare VRAM
-    is disabled: weights always stream from DRAM.
-    """
-    workload = Workload(4, N_BATCHES, 512, GEN_LEN)
-    scenario = Scenario(model, ENV1, workload, seed=SEED)
-    original = KlotskiSystem(
-        KlotskiOptions(
-            features=PipelineFeatures.simple_pipeline(),
-            warmup_steps=0,
-            use_spare_vram=False,
-        ),
-        name="original",
-    )
-    original.sequential = True  # one batch at a time, like plain offloading
-    strategy = KlotskiSystem(
-        KlotskiOptions(
-            features=PipelineFeatures(hot_prefetch=False, adjust_order=False),
-            warmup_steps=0,
-            use_spare_vram=False,
-        ),
-        name="strategy",
-    )
-    return original.run(scenario).metrics, strategy.run(scenario).metrics
+from repro.experiments.paper import fold_by_axes
 
 
 @pytest.fixture(scope="module")
 def table1():
-    return {model.name: run_pair(model) for model in MODELS}
+    """model -> (original result, with-strategy result) dicts."""
+    by_model = fold_by_axes(run_experiment("table1"), "model", "variant")
+    return {
+        model: (variants["original"], variants["strategy"])
+        for model, variants in by_model.items()
+    }
 
 
 def test_table1_rendered(benchmark, table1):
@@ -66,9 +38,10 @@ def test_table1_rendered(benchmark, table1):
         ]
         for name, (orig, strat) in table1.items():
             lines.append(
-                f"{name:<18} {orig.throughput:>10.2f} {strat.throughput:>10.2f} "
-                f"{(strat.throughput / orig.throughput - 1) * 100:>11.1f}%"
-                f" {strat.gpu_utilization:>14.0%}"
+                f"{name:<18} {orig['throughput']:>10.2f} "
+                f"{strat['throughput']:>10.2f} "
+                f"{(strat['throughput'] / orig['throughput'] - 1) * 100:>11.1f}%"
+                f" {strat['gpu_utilization']:>14.0%}"
             )
         return "\n".join(lines)
 
@@ -80,7 +53,7 @@ def test_table1_rendered(benchmark, table1):
 def test_strategy_always_improves(benchmark, table1):
     def improvements():
         return {
-            name: strat.throughput / orig.throughput
+            name: strat["throughput"] / orig["throughput"]
             for name, (orig, strat) in table1.items()
         }
 
@@ -96,8 +69,8 @@ def test_dense_gains_exceed_moe_gains_small_pair(benchmark, table1):
         dense = table1["opt-1.3b"]
         moe = table1["switch-base-16"]
         return (
-            dense[1].throughput / dense[0].throughput,
-            moe[1].throughput / moe[0].throughput,
+            dense[1]["throughput"] / dense[0]["throughput"],
+            moe[1]["throughput"] / moe[0]["throughput"],
         )
 
     dense_ratio, moe_ratio = benchmark.pedantic(gap, rounds=1, iterations=1)
@@ -111,7 +84,7 @@ def test_dense_overlaps_better_than_moe(benchmark, table1):
 
     def utils():
         return {
-            name: strat.gpu_utilization for name, (orig, strat) in table1.items()
+            name: strat["gpu_utilization"] for name, (orig, strat) in table1.items()
         }
 
     util = benchmark.pedantic(utils, rounds=1, iterations=1)
@@ -123,10 +96,10 @@ def test_dense_overlaps_better_than_moe(benchmark, table1):
 
 def test_bigger_models_slower(benchmark, table1):
     def check():
-        assert table1["opt-1.3b"][0].throughput > table1["opt-6.7b"][0].throughput
+        assert table1["opt-1.3b"][0]["throughput"] > table1["opt-6.7b"][0]["throughput"]
         assert (
-            table1["switch-base-16"][0].throughput
-            > table1["switch-base-128"][0].throughput
+            table1["switch-base-16"][0]["throughput"]
+            > table1["switch-base-128"][0]["throughput"]
         )
         return True
 

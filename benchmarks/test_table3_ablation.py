@@ -5,49 +5,35 @@ Ladder: simple pipeline -> + multi batches -> + only prefetch hot experts
 evaluation scenarios. The paper's finding: multi-batching is by far the
 largest step, hot-expert prefetch and order adjustment add smaller gains,
 and quantization barely moves peak throughput.
+
+Thin wrapper over the registered ``table3`` experiment; the variant ladder
+lives in :data:`repro.experiments.paper.ABLATION_VARIANTS`.
 """
 
 import pytest
 
-from common import SCENARIOS
+from common import run_experiment
 
 from conftest import record_report
 
-from repro.core.engine import KlotskiOptions, KlotskiSystem
-from repro.core.pipeline import PipelineFeatures
-
-BATCH_SIZE = 16
-
-VARIANTS = [
-    ("simple pipeline", 1, PipelineFeatures.simple_pipeline()),
-    ("+ multi batches", None, PipelineFeatures(hot_prefetch=False, adjust_order=False)),
-    ("+ only prefetch hot", None, PipelineFeatures(adjust_order=False)),
-    ("klotski (+ adjust order)", None, PipelineFeatures()),
-    ("klotski(q)", None, PipelineFeatures(quantize=True)),
-]
-
-
-def run_ladder(eval_scenario):
-    scenario = eval_scenario.scenario(BATCH_SIZE)
-    results = {}
-    for name, n_override, features in VARIANTS:
-        n = n_override or eval_scenario.n
-        system = KlotskiSystem(KlotskiOptions(features=features), name=name)
-        wl = scenario.workload.with_batches(n)
-        results[name] = system.run(scenario.with_workload(wl)).metrics.throughput
-    return results
+from repro.experiments.paper import ABLATION_VARIANTS, fold_by_axes
 
 
 @pytest.fixture(scope="module")
 def ladders():
-    return {s.key: run_ladder(s) for s in SCENARIOS}
+    """scenario key -> {variant name -> throughput}."""
+    by_key = fold_by_axes(run_experiment("table3"), "scenario", "variant")
+    return {
+        key: {variant: result["throughput"] for variant, result in ladder.items()}
+        for key, ladder in by_key.items()
+    }
 
 
 def test_table3_rendered(benchmark, ladders):
     def render():
         keys = list(ladders)
         lines = [f"{'variant':<26} " + " ".join(f"{k:>12}" for k in keys)]
-        for name, _, _ in VARIANTS:
+        for name in ABLATION_VARIANTS:
             cells = " ".join(f"{ladders[k][name]:>12.3f}" for k in keys)
             lines.append(f"{name:<26} {cells}")
         return "\n".join(lines)
@@ -62,7 +48,7 @@ def test_multi_batch_is_largest_step(benchmark, ladders):
         # Quantization is an optional compression, not a scheduling
         # mechanism; the paper's "most significant enhancement" claim is
         # about the pipeline mechanisms, so compare against those.
-        mechanisms = [name for name, _, _ in VARIANTS if name != "klotski(q)"]
+        mechanisms = [name for name in ABLATION_VARIANTS if name != "klotski(q)"]
         for ladder in ladders.values():
             base = ladder["simple pipeline"]
             multi = ladder["+ multi batches"]
@@ -79,7 +65,7 @@ def test_multi_batch_is_largest_step(benchmark, ladders):
 
 def test_each_mechanism_non_regressive(benchmark, ladders):
     def check():
-        order = [name for name, _, _ in VARIANTS]
+        order = list(ABLATION_VARIANTS)
         for key, ladder in ladders.items():
             for earlier, later in zip(order, order[1:]):
                 assert ladder[later] >= ladder[earlier] * 0.97, (

@@ -23,10 +23,11 @@ from repro.core.engine import KlotskiEngine, KlotskiOptions, KlotskiSystem
 # Imported after the core engine: the cluster layer builds on the serving
 # stack, which reaches back into repro.core via repro.systems.
 from repro.cluster import ClusterConfig, ClusterSimulator, build_cluster, make_router
+from repro.experiments import ArtifactStore, ExperimentSpec, Runner
 from repro.routing.workload import Workload, paper_workload
 from repro.scenario import Scenario
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "KlotskiEngine",
@@ -39,5 +40,8 @@ __all__ = [
     "ClusterSimulator",
     "build_cluster",
     "make_router",
+    "ArtifactStore",
+    "ExperimentSpec",
+    "Runner",
     "__version__",
 ]

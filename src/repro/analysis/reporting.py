@@ -24,13 +24,17 @@ class ResultGrid:
     oom: set = field(default_factory=set)  # (system, x)
 
     def add(self, system: str, x, value: float) -> None:
+        """Record a measured value for one cell (clears any OOM mark)."""
         if x not in self.x_values:
             self.x_values.append(x)
+        self.oom.discard((system, x))
         self.cells[(system, x)] = value
 
     def add_oom(self, system: str, x) -> None:
+        """Mark a cell as OOM (clears any previously recorded value)."""
         if x not in self.x_values:
             self.x_values.append(x)
+        self.cells.pop((system, x), None)
         self.oom.add((system, x))
 
     def systems(self) -> list[str]:
@@ -49,12 +53,20 @@ class ResultGrid:
         return [self.get(system, x) for x in self.x_values]
 
     def speedup(self, system: str, baseline: str) -> float:
-        """Max ratio system/baseline across columns where both ran."""
-        best = 0.0
+        """Max ratio system/baseline across comparable columns.
+
+        Columns where either side is missing, marked OOM, or non-finite
+        are skipped; a non-positive baseline is likewise not comparable.
+        Returns ``nan`` when no column is comparable at all (rather than
+        a misleading 0.0).
+        """
+        best = math.nan
         for x in self.x_values:
             a, b = self.get(system, x), self.get(baseline, x)
-            if a == a and b == b and b > 0:
-                best = max(best, a / b)
+            if math.isfinite(a) and math.isfinite(b) and b > 0:
+                ratio = a / b
+                if not best == best or ratio > best:
+                    best = ratio
         return best
 
     def render(self, fmt: str = ".2f") -> str:
@@ -71,6 +83,28 @@ class ResultGrid:
                 val = self.get(system, x)
                 cells.append(f"{'OOM':>{col_w}}" if val != val else f"{val:>{col_w}{fmt}}")
             lines.append(f"{system:<{name_w}} " + "".join(cells))
+        return "\n".join(lines)
+
+    def to_markdown(self, fmt: str = ".2f", missing: str = "—") -> str:
+        """Render the grid as a GitHub-flavoured Markdown table.
+
+        OOM cells render as ``OOM`` and absent cells as ``missing``; the
+        header row carries the x label, one column per x value.
+        """
+        systems = self.systems()
+        header = f"| {self.x_label} | " + " | ".join(str(x) for x in self.x_values) + " |"
+        divider = "|---" * (len(self.x_values) + 1) + "|"
+        lines = [header, divider]
+        for system in systems:
+            cells = []
+            for x in self.x_values:
+                if (system, x) in self.oom:
+                    cells.append("OOM")
+                elif (system, x) in self.cells:
+                    cells.append(f"{self.cells[(system, x)]:{fmt}}")
+                else:
+                    cells.append(missing)
+            lines.append(f"| {system} | " + " | ".join(cells) + " |")
         return "\n".join(lines)
 
     def to_json(self) -> str:

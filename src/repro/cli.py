@@ -10,9 +10,14 @@ Subcommands mirror how the paper's system is operated:
 * ``export-trace`` — save a run's pipeline as Chrome-tracing JSON
 * ``serve``      — simulate a multi-replica cluster serving a request
   stream behind a pluggable router (``repro.cluster``)
+* ``experiments`` — declarative experiment orchestration
+  (``repro.experiments``): ``list`` the registered paper figures/tables,
+  ``run`` their cell grids in parallel against the content-addressed
+  artifact cache, and ``report`` them into ``docs/results.md``
 
-``run``, ``compare``, and ``serve`` accept ``--json`` to emit
-machine-readable results instead of text.
+``run``, ``compare``, ``serve``, ``experiments list``, and
+``experiments run`` accept ``--json`` to emit machine-readable results
+instead of text.
 
 Installed as ``klotski-repro`` (see ``pyproject.toml``).
 """
@@ -237,6 +242,114 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _experiments_runner(args):
+    from repro.experiments import ArtifactStore, Runner
+
+    store = ArtifactStore(args.cache) if args.cache else ArtifactStore()
+    return Runner(
+        store,
+        jobs=getattr(args, "jobs", 1),
+        full=args.full,
+        force=getattr(args, "force", False),
+    )
+
+
+def cmd_experiments_list(args) -> int:
+    from repro.experiments import all_experiments
+
+    runner = _experiments_runner(args)
+    rows = []
+    for experiment in all_experiments():
+        spec = experiment.make_spec(args.full)
+        cells = spec.cells()
+        cached = sum(1 for c in cells if runner.store.has(c.key))
+        rows.append(
+            {
+                "name": experiment.name,
+                "title": experiment.title,
+                "cells": len(cells),
+                "cached": cached,
+                "spec_hash": spec.spec_hash(),
+            }
+        )
+    if args.json:
+        print(json.dumps({"experiments": rows, "full": args.full}, indent=2))
+        return 0
+    for row in rows:
+        print(
+            f"{row['name']:<8} {row['cells']:>4} cells "
+            f"({row['cached']:>4} cached)  {row['title']}"
+        )
+    return 0
+
+
+def _resolve_experiments(names):
+    from repro.experiments import all_experiments, get_experiment
+
+    if not names:
+        return all_experiments()
+    try:
+        return [get_experiment(name) for name in names]
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+
+
+def cmd_experiments_run(args) -> int:
+    runner = _experiments_runner(args)
+    experiments = _resolve_experiments(args.names)
+    rows = []
+    for experiment in experiments:
+        run = runner.run(experiment.make_spec(args.full))
+        rows.append(
+            {
+                "name": experiment.name,
+                "cells": run.stats.total,
+                "computed": run.stats.computed,
+                "cached": run.stats.cached,
+                "hit_rate": run.stats.hit_rate,
+            }
+        )
+        if not args.json:
+            print(
+                f"{experiment.name:<8} {run.stats.total:>4} cells: "
+                f"{run.stats.computed} computed, {run.stats.cached} cached "
+                f"({run.stats.hit_rate:.0%} hit rate)"
+            )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "experiments": rows,
+                    "full": args.full,
+                    "jobs": args.jobs,
+                    "cache_dir": str(runner.store.root),
+                },
+                indent=2,
+            )
+        )
+    return 0
+
+
+def cmd_experiments_report(args) -> int:
+    from repro.experiments import report_is_stale, write_report
+
+    _resolve_experiments(args.names)  # fail fast on unknown names
+    runner = _experiments_runner(args)
+    names = args.names or None
+    if args.check:
+        if report_is_stale(runner, args.out, names):
+            print(
+                f"{args.out} is stale — regenerate with "
+                "`python -m repro.cli experiments report`"
+            )
+            return 1
+        print(f"{args.out} is up to date")
+        return 0
+    path = write_report(runner, args.out, names)
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_sweep_n(args) -> int:
     grid = ResultGrid(
         f"Throughput vs n — {args.model} on {args.env} (bs={args.batch_size})", "n"
@@ -319,6 +432,61 @@ def build_parser() -> argparse.ArgumentParser:
                    help="latency SLO for goodput accounting (s)")
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "experiments",
+        help="declarative experiment orchestration (paper figures/tables)",
+    )
+    esub = p.add_subparsers(dest="experiments_command", required=True)
+
+    def _common_experiment_args(ep, with_jobs: bool = True) -> None:
+        ep.add_argument(
+            "--full", action="store_true",
+            help="paper-scale operating point (like REPRO_FULL=1)",
+        )
+        ep.add_argument(
+            "--cache",
+            help="artifact cache directory (default: $REPRO_CACHE_DIR "
+            "or .repro-cache)",
+        )
+        if with_jobs:
+            ep.add_argument(
+                "--jobs", type=int, default=1,
+                help="worker processes for uncached cells",
+            )
+
+    ep = esub.add_parser("list", help="list registered experiments")
+    _common_experiment_args(ep, with_jobs=False)
+    ep.add_argument("--json", action="store_true")
+    ep.set_defaults(func=cmd_experiments_list)
+
+    ep = esub.add_parser("run", help="run experiment grids (cache-backed)")
+    ep.add_argument(
+        "names", nargs="*",
+        help="experiment names (default: all registered)",
+    )
+    _common_experiment_args(ep)
+    ep.add_argument(
+        "--force", action="store_true",
+        help="recompute every cell, refreshing the cache",
+    )
+    ep.add_argument("--json", action="store_true")
+    ep.set_defaults(func=cmd_experiments_run)
+
+    ep = esub.add_parser(
+        "report", help="render cached experiments into docs/results.md"
+    )
+    ep.add_argument(
+        "names", nargs="*",
+        help="experiment names (default: all registered)",
+    )
+    _common_experiment_args(ep)
+    ep.add_argument("--out", default="docs/results.md")
+    ep.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the report on disk is stale instead of writing",
+    )
+    ep.set_defaults(func=cmd_experiments_report)
 
     p = sub.add_parser("sweep-n", help="throughput vs batch-group size")
     _add_scenario_args(p)

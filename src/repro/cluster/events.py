@@ -27,7 +27,14 @@ COMPLETION = "completion"
 
 @dataclass(order=True)
 class Event:
-    """One scheduled simulator event; ordering key is (time, seq)."""
+    """One scheduled simulator event; ordering key is (time, seq).
+
+    Attributes:
+        time: simulation timestamp (seconds).
+        seq: FIFO tie-breaker within a timestamp.
+        kind: event type (ARRIVAL / DEADLINE / COMPLETION).
+        payload: event-specific data (request, replica id, ...).
+    """
 
     time: float
     seq: int

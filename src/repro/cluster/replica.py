@@ -31,7 +31,12 @@ from repro.systems import InferenceSystem
 
 @dataclass
 class GroupTiming:
-    """Memoized timing of one batch-group shape on one replica class."""
+    """Memoized timing of one batch-group shape on one replica class.
+
+    Attributes:
+        total_s: end-to-end group execution time.
+        prefill_s: prefill portion (drives TTFT).
+    """
 
     total_s: float
     prefill_s: float
@@ -39,7 +44,16 @@ class GroupTiming:
 
 @dataclass
 class DispatchedGroup:
-    """A batch group committed to a replica's execution slot."""
+    """A batch group committed to a replica's execution slot.
+
+    Attributes:
+        requests: the member requests.
+        dispatch_s: when the group was committed.
+        start_s: when the machine actually began the group.
+        completion_s: when the group finishes.
+        prefill_s: prefill portion of the group's execution.
+        expert_misses: hot-expert requests not resident on the replica.
+    """
 
     requests: list[Request]
     dispatch_s: float
@@ -50,7 +64,16 @@ class DispatchedGroup:
 
 
 class Replica:
-    """A single cluster member wrapping one inference system."""
+    """A single cluster member wrapping one inference system.
+
+    Args:
+        replica_id: position in the fleet.
+        scenario: model/hardware/workload evaluation point served here.
+        system: the inference system executing batch groups.
+        batching: group-formation policy.
+        prompt_quantum: prompt-length bucket for timing memoization.
+        shared_cache: optional fleet-wide group-timing cache.
+    """
 
     def __init__(
         self,

@@ -28,7 +28,16 @@ DEFAULT_COST_PER_HOUR = 1.0
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Lifecycle of one request through the cluster."""
+    """Lifecycle of one request through the cluster.
+
+    Attributes:
+        request: the served request.
+        replica_id: replica that executed it.
+        dispatch_s: group committed to the replica's execution slot.
+        start_s: machine actually began the group.
+        completion_s: request finished.
+        ttft_s: arrival -> first output token (start + group prefill).
+    """
 
     request: Request
     replica_id: int
@@ -48,7 +57,19 @@ class RequestRecord:
 
 @dataclass
 class ReplicaStats:
-    """Per-replica utilization and queue telemetry."""
+    """Per-replica utilization and queue telemetry.
+
+    Attributes:
+        replica_id: position in the fleet.
+        hardware: environment preset name.
+        system: inference-system name.
+        requests: requests served.
+        groups: batch groups executed.
+        busy_s: cumulative execution time.
+        expert_misses: hot-expert requests served without residency.
+        resident_experts: expert ids pinned in this replica's VRAM.
+        queue_depth_timeline: (time, queue depth) samples.
+    """
 
     replica_id: int
     hardware: str
@@ -88,7 +109,15 @@ class ReplicaStats:
 
 @dataclass
 class ClusterReport:
-    """Aggregate result of one cluster simulation."""
+    """Aggregate result of one cluster simulation.
+
+    Attributes:
+        router: routing-policy name.
+        slo_s: latency bound used for goodput accounting.
+        records: one :class:`RequestRecord` per served request.
+        replicas: per-replica telemetry.
+        makespan_s: last completion time.
+    """
 
     router: str
     slo_s: float

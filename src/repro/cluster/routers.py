@@ -102,7 +102,18 @@ ROUTERS: dict[str, type[Router]] = {
 
 
 def make_router(name: str) -> Router:
-    """Instantiate a router policy by registry name."""
+    """Instantiate a router policy by registry name.
+
+    Args:
+        name: a :data:`ROUTERS` key (``round-robin``,
+            ``least-outstanding``, or ``expert-affinity``).
+
+    Returns:
+        A fresh :class:`Router` instance.
+
+    Raises:
+        ValueError: for an unknown name.
+    """
     try:
         return ROUTERS[name]()
     except KeyError:

@@ -49,6 +49,12 @@ class ClusterConfig:
     Per-replica knobs (batching, the prompt-length memoization quantum)
     live on :class:`~repro.cluster.replica.Replica` and are set through
     :func:`build_cluster`.
+
+    Attributes:
+        slo_s: end-to-end latency bound for goodput accounting.
+        partition_experts: shard hot-expert residency across replicas.
+        expert_slots_per_replica: residency slots per replica (None:
+            derive from each replica's placement).
     """
 
     slo_s: float = 120.0  # end-to-end latency bound for goodput accounting
@@ -73,8 +79,19 @@ def build_cluster(
 ) -> list[Replica]:
     """Build one replica per environment, sharing a group-time cache.
 
-    ``system_factory`` is called once per replica (default: Klotski); pass
-    a list of factories for a mixed-system fleet.
+    Args:
+        model: model preset served by every replica.
+        environments: one hardware spec per replica (heterogeneous OK).
+        batching: group-formation policy shared by the fleet.
+        system_factory: called once per replica (default: Klotski); pass
+            a list of factories for a mixed-system fleet.
+        prompt_len: mean prompt length used for group timing.
+        gen_len: generated tokens per request.
+        seed: scenario routing seed.
+        prompt_quantum: prompt-length bucket for timing memoization.
+
+    Returns:
+        The list of replicas, ready for :class:`ClusterSimulator`.
     """
     if not environments:
         raise ValueError("at least one environment is required")
@@ -107,7 +124,13 @@ def build_cluster(
 
 
 class ClusterSimulator:
-    """Route one request stream across a fleet of replicas."""
+    """Route one request stream across a fleet of replicas.
+
+    Args:
+        replicas: the fleet (at least one :class:`Replica`).
+        router: request-routing policy.
+        config: fleet-level knobs (default :class:`ClusterConfig`).
+    """
 
     def __init__(
         self,

@@ -42,7 +42,19 @@ def warm_up_prefetcher(
 
 @dataclass(frozen=True)
 class KlotskiOptions:
-    """User-facing engine options."""
+    """User-facing engine options.
+
+    Attributes:
+        quantize: 4-bit expert + attention weights (Klotski(q)).
+        use_spare_vram: spend spare VRAM on weight residency.
+        prefetch_k: experts prefetched per layer (default: the gate's
+            top-k).
+        path_length: correlation-path depth of the prefetcher.
+        warmup_steps: offline prefetcher warm-up steps (0 disables).
+        online_update: keep updating the correlation table during a run.
+        features: ablation overrides of the pipeline mechanisms.
+        sparse_attention: optional sink+window sparse-attention policy.
+    """
 
     quantize: bool = False
     use_spare_vram: bool = True
@@ -57,7 +69,13 @@ class KlotskiOptions:
 
 
 class KlotskiSystem(InferenceSystem):
-    """Klotski as a pluggable system (group execution)."""
+    """Klotski as a pluggable system (group execution).
+
+    Args:
+        options: engine options (default: full Klotski).
+        name: display name override (default: ``klotski`` /
+            ``klotski(q)`` when quantized).
+    """
 
     sequential = False
 
@@ -115,6 +133,11 @@ class KlotskiSystem(InferenceSystem):
 
 class KlotskiEngine:
     """Offline planning + online execution, per Figure 6.
+
+    Args:
+        scenario: the evaluation point to plan and run against.
+        options: engine options (default: full Klotski).
+        planner_config: override for the constraint-sensitive planner.
 
     >>> engine = KlotskiEngine(scenario)
     >>> plan = engine.plan()          # constraint-sensitive n

@@ -1,0 +1,59 @@
+"""Declarative experiment orchestration for the paper's evaluation.
+
+The subsystem that turns the paper's figures and tables into data, not
+scripts:
+
+* :class:`ExperimentSpec` — a model x env x workload x system grid with
+  per-axis overrides, expanded into content-addressed cells;
+* :class:`Runner` — executes cells (optionally in parallel via
+  ``multiprocessing``), caches each result as JSON in the
+  :class:`ArtifactStore` (``.repro-cache/``), and reports hit/miss stats
+  so re-runs and ``REPRO_FULL=1`` upgrades are incremental;
+* the registry (:func:`all_experiments`) of every paper figure/table,
+  defined in :mod:`repro.experiments.paper`;
+* the report generator (:func:`write_report`) that folds cached
+  artifacts into ``docs/results.md``.
+
+See ``docs/reproduce.md`` for the user-facing walkthrough and
+``repro.cli experiments`` for the command-line surface.
+"""
+
+from repro.experiments.cache import ArtifactStore
+from repro.experiments.registry import (
+    Experiment,
+    all_experiments,
+    get_experiment,
+    register_experiment,
+)
+from repro.experiments.report import (
+    render_report,
+    report_is_stale,
+    write_report,
+)
+from repro.experiments.runner import (
+    CellResult,
+    ExperimentRun,
+    Runner,
+    RunStats,
+    cell_function,
+)
+from repro.experiments.spec import Cell, ExperimentSpec, cell_key
+
+__all__ = [
+    "ArtifactStore",
+    "Cell",
+    "CellResult",
+    "Experiment",
+    "ExperimentRun",
+    "ExperimentSpec",
+    "Runner",
+    "RunStats",
+    "all_experiments",
+    "cell_function",
+    "cell_key",
+    "get_experiment",
+    "register_experiment",
+    "render_report",
+    "report_is_stale",
+    "write_report",
+]

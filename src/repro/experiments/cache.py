@@ -1,0 +1,83 @@
+"""Content-addressed artifact store for experiment cells.
+
+Each executed cell is persisted as one JSON file under the cache root
+(default ``.repro-cache/``, overridable with ``REPRO_CACHE_DIR``), named
+by the cell's content hash. Re-running an experiment therefore only
+computes cells whose parameters actually changed, which makes sweeps
+incremental and resumable after interruption. Cells are also shared
+across experiments (Figure 11 reuses Figure 10's grid) and, for
+figures with a single fixed design point (Figs 5/15, Table 2), across
+the reduced and ``REPRO_FULL=1`` operating points; the scaled
+experiments change ``n``/``gen_len`` with the point and recompute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ArtifactStore:
+    """A directory of content-addressed JSON artifacts."""
+
+    def __init__(self, root: str | Path | None = None):
+        """Open (lazily creating) a store.
+
+        Args:
+            root: cache directory; defaults to ``$REPRO_CACHE_DIR`` or
+                ``.repro-cache`` under the current working directory.
+        """
+        self.root = Path(
+            root or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        )
+
+    def path_for(self, key: str) -> Path:
+        """Artifact path for ``key`` (two-level fan-out by hash prefix)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """Whether an artifact for ``key`` exists on disk."""
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> dict | None:
+        """Load the artifact stored under ``key``.
+
+        Args:
+            key: a cell content hash.
+
+        Returns:
+            The stored payload dict, or ``None`` on miss or if the file
+            is unreadable/corrupt (treated as a miss).
+        """
+        path = self.path_for(key)
+        try:
+            with path.open() as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically persist ``payload`` under ``key``.
+
+        Args:
+            key: a cell content hash.
+            payload: JSON-serializable artifact body.
+
+        Returns:
+            The path of the written artifact.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def __len__(self) -> int:
+        """Number of artifacts currently stored."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

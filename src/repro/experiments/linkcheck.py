@@ -1,0 +1,90 @@
+"""Intra-repository Markdown link checker (used by the CI docs job).
+
+Scans Markdown files for ``[text](target)`` links and verifies that every
+relative target resolves to an existing file or directory. External
+(``http(s)://``, ``mailto:``) and pure-anchor (``#...``) targets are
+skipped; a ``path#anchor`` target is checked for the path part only.
+
+Run as ``python -m repro.experiments.linkcheck [root]``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets must exist too.
+_LINK_RE = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root: Path) -> list[Path]:
+    """Markdown files under ``root``, skipping dot-directories.
+
+    Args:
+        root: repository root to scan.
+
+    Returns:
+        Sorted list of ``*.md`` paths.
+    """
+    return sorted(
+        p
+        for p in root.rglob("*.md")
+        if not any(part.startswith(".") for part in p.parts)
+    )
+
+
+def broken_links(root: Path) -> list[tuple[Path, str]]:
+    """Find intra-repo Markdown links whose target does not exist.
+
+    Args:
+        root: repository root to scan.
+
+    Returns:
+        ``(markdown file, broken target)`` pairs.
+    """
+    broken = []
+    for md in iter_markdown_files(root):
+        text = md.read_text()
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                resolved = root / path_part.lstrip("/")
+            else:
+                resolved = md.parent / path_part
+            if not resolved.exists():
+                broken.append((md, target))
+    return broken
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: report broken links and set the exit code.
+
+    Args:
+        argv: optional ``[root]`` argument list (default: cwd).
+
+    Returns:
+        0 when all intra-repo links resolve, 1 otherwise.
+    """
+    args = sys.argv[1:] if argv is None else argv
+    root = Path(args[0]) if args else Path(".")
+    broken = broken_links(root)
+    for md, target in broken:
+        print(f"{md}: broken link -> {target}")
+    if broken:
+        print(f"{len(broken)} broken intra-repo link(s)")
+        return 1
+    print(f"all intra-repo links resolve ({len(iter_markdown_files(root))} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""The experiment registry: name -> (spec factory, report renderer).
+
+Every paper figure/table registers here (see
+:mod:`repro.experiments.paper`); the CLI, the report generator, and the
+benchmark harness all look experiments up by name, so a new scenario is
+one registration instead of a new benchmark module.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.experiments.spec import ExperimentSpec
+
+_REGISTRY: dict[str, "Experiment"] = {}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment.
+
+    Attributes:
+        name: registry key (``fig10``, ``table3``, ...).
+        title: report section title.
+        caption: one-paragraph description rendered under the title.
+        make_spec: ``full -> ExperimentSpec`` factory (the reduced and
+            paper-scale operating points are two spec instances).
+        render: ``ExperimentRun -> str`` Markdown section body.
+    """
+
+    name: str
+    title: str
+    caption: str
+    make_spec: Callable[[bool], ExperimentSpec]
+    render: Callable
+
+
+def register_experiment(experiment: Experiment) -> Experiment:
+    """Add ``experiment`` to the registry (idempotent per name+object).
+
+    Args:
+        experiment: the experiment to register.
+
+    Returns:
+        The experiment, for decorator-style use.
+
+    Raises:
+        ValueError: if a different experiment already owns the name.
+    """
+    existing = _REGISTRY.get(experiment.name)
+    if existing is not None and existing is not experiment:
+        raise ValueError(f"experiment {experiment.name!r} already registered")
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def ensure_paper_experiments() -> None:
+    """Import the paper definitions so the registry is populated."""
+    import repro.experiments.paper  # noqa: F401
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look an experiment up by name.
+
+    Args:
+        name: registry key.
+
+    Returns:
+        The registered :class:`Experiment`.
+
+    Raises:
+        KeyError: with the known names, if ``name`` is not registered.
+    """
+    ensure_paper_experiments()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {name!r} (known: {known})") from None
+
+
+def all_experiments() -> list[Experiment]:
+    """List the registered experiments.
+
+    Returns:
+        Every :class:`Experiment`, in registration (report) order.
+    """
+    ensure_paper_experiments()
+    return list(_REGISTRY.values())

@@ -1,0 +1,269 @@
+"""Cell execution: the function registry and the (parallel) Runner.
+
+A *cell function* is a pure measurement: it receives a JSON-safe
+parameter dict and returns a JSON-safe result dict. Functions register
+under a short name with :func:`cell_function`; specs refer to them by
+that name, which keeps cells picklable for ``multiprocessing`` and keeps
+cache keys independent of import paths.
+
+The :class:`Runner` expands a spec, serves cached cells from the
+:class:`~repro.experiments.cache.ArtifactStore`, executes the missing
+ones (in a process pool when ``jobs > 1``), persists every fresh result,
+and reports hit/miss statistics so callers can verify incrementality.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.experiments.cache import ArtifactStore
+from repro.experiments.spec import Cell, ExperimentSpec
+
+CELL_FUNCTIONS: dict[str, Callable[[dict], dict]] = {}
+
+
+def cell_function(name: str) -> Callable:
+    """Decorator registering a cell function under ``name``.
+
+    Args:
+        name: the registry key specs use in their ``runner`` field.
+
+    Returns:
+        The decorator, which registers and returns the function.
+    """
+
+    def decorate(fn: Callable[[dict], dict]) -> Callable[[dict], dict]:
+        if name in CELL_FUNCTIONS and CELL_FUNCTIONS[name] is not fn:
+            raise ValueError(f"cell function {name!r} already registered")
+        CELL_FUNCTIONS[name] = fn
+        return fn
+
+    return decorate
+
+
+@cell_function("probe")
+def probe_cell(params: dict) -> dict:
+    """Built-in near-free cell used by smoke tests and cache probes.
+
+    Args:
+        params: any parameter dict; ``value`` (default 1) is folded in.
+
+    Returns:
+        A deterministic dict derived only from ``params``.
+    """
+    value = params.get("value", 1)
+    acc = 0
+    for k in sorted(k for k in params if k != "value"):
+        acc = (acc * 31 + len(str(k)) + len(str(params[k]))) % 997
+    return {"echo": dict(params), "digest": acc * value}
+
+
+def _worker_init() -> None:
+    """Pool initializer: make sure the paper cells are registered."""
+    import repro.experiments.paper  # noqa: F401
+
+
+def execute_cell(task: tuple[str, dict]) -> dict:
+    """Execute one (runner name, params) task in this process.
+
+    Args:
+        task: ``(runner, params)`` as produced by the Runner.
+
+    Returns:
+        The cell function's result dict.
+    """
+    runner_name, params = task
+    if runner_name not in CELL_FUNCTIONS:
+        _worker_init()
+    try:
+        fn = CELL_FUNCTIONS[runner_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell function {runner_name!r}; registered: "
+            f"{sorted(CELL_FUNCTIONS)}"
+        ) from None
+    return fn(dict(params))
+
+
+@dataclass
+class RunStats:
+    """Cache accounting for one experiment run.
+
+    Attributes:
+        computed: unique cells executed this run.
+        cached: unique cells served from the artifact store.
+    """
+
+    computed: int = 0
+    cached: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of cells served (computed + cached)."""
+        return self.computed + self.cached
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cells served from cache (0.0 on an empty run)."""
+        return self.cached / self.total if self.total else 0.0
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One cell together with its result and cache provenance.
+
+    Attributes:
+        cell: the measured cell.
+        result: the cell function's JSON result.
+        cached: True when served from the artifact store.
+    """
+
+    cell: Cell
+    result: dict
+    cached: bool
+
+
+@dataclass
+class ExperimentRun:
+    """The materialized outcome of running one spec.
+
+    Attributes:
+        spec: the expanded experiment spec.
+        results: one :class:`CellResult` per cell, in expansion order.
+        stats: cache hit/miss accounting.
+    """
+
+    spec: ExperimentSpec
+    results: list[CellResult] = field(default_factory=list)
+    stats: RunStats = field(default_factory=RunStats)
+
+    def result_for(self, **axis_values) -> dict:
+        """Look up the single cell result matching ``axis_values``.
+
+        Args:
+            **axis_values: parameter items the cell must contain.
+
+        Returns:
+            The matching cell's result dict.
+
+        Raises:
+            KeyError: if no cell (or more than one) matches.
+        """
+        matches = [
+            r.result
+            for r in self.results
+            if all(r.cell.params.get(k) == v for k, v in axis_values.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{len(matches)} cells of {self.spec.name!r} match {axis_values}"
+            )
+        return matches[0]
+
+
+class Runner:
+    """Executes experiment specs against the artifact store."""
+
+    def __init__(
+        self,
+        store: ArtifactStore | None = None,
+        *,
+        jobs: int = 1,
+        full: bool = False,
+        force: bool = False,
+    ):
+        """Create a runner.
+
+        Args:
+            store: artifact store (default: :class:`ArtifactStore` on the
+                default cache directory).
+            jobs: worker processes for fresh cells (1 = in-process).
+            full: run specs at the paper's full operating point instead
+                of the reduced one.
+            force: recompute every cell, ignoring (but refreshing) the
+                cache.
+        """
+        # Note: `store or ArtifactStore()` would be wrong — an empty store
+        # is falsy via __len__.
+        self.store = store if store is not None else ArtifactStore()
+        self.jobs = max(1, int(jobs))
+        self.full = full
+        self.force = force
+
+    def run(self, spec: ExperimentSpec) -> ExperimentRun:
+        """Run one spec, serving cached cells and computing the rest.
+
+        Args:
+            spec: the experiment grid to materialize.
+
+        Returns:
+            An :class:`ExperimentRun` with one result per cell, in
+            expansion order, plus hit/miss statistics.
+        """
+        cells = spec.cells()
+        fresh: dict[str, dict] = {}
+        pending: list[Cell] = []
+        cached: dict[str, dict] = {}
+        seen: set[str] = set()
+        for cell in cells:
+            if cell.key in seen:
+                continue
+            seen.add(cell.key)
+            payload = None if self.force else self.store.get(cell.key)
+            if payload is not None and "result" in payload:
+                cached[cell.key] = payload["result"]
+            else:
+                pending.append(cell)
+
+        if pending:
+            tasks = [(cell.runner, cell.params) for cell in pending]
+            if self.jobs > 1 and len(pending) > 1:
+                ctx = multiprocessing.get_context()
+                with ctx.Pool(
+                    min(self.jobs, len(pending)), initializer=_worker_init
+                ) as pool:
+                    outputs = pool.map(execute_cell, tasks)
+            else:
+                outputs = [execute_cell(task) for task in tasks]
+            for cell, result in zip(pending, outputs):
+                fresh[cell.key] = result
+                self.store.put(
+                    cell.key,
+                    {
+                        "key": cell.key,
+                        "spec": cell.spec_name,
+                        "runner": cell.runner,
+                        "params": cell.params,
+                        "result": result,
+                    },
+                )
+
+        run = ExperimentRun(spec=spec)
+        counted: set[str] = set()
+        for cell in cells:
+            was_cached = cell.key in cached
+            result = cached[cell.key] if was_cached else fresh[cell.key]
+            run.results.append(CellResult(cell=cell, result=result, cached=was_cached))
+            if cell.key not in counted:
+                counted.add(cell.key)
+                if was_cached:
+                    run.stats.cached += 1
+                else:
+                    run.stats.computed += 1
+        return run
+
+    def run_experiment(self, name: str) -> ExperimentRun:
+        """Run a registered experiment by name at this runner's operating
+        point.
+
+        Args:
+            name: a name from :func:`repro.experiments.registry.all_experiments`.
+
+        Returns:
+            The :class:`ExperimentRun` for the experiment's spec.
+        """
+        from repro.experiments.registry import get_experiment
+
+        return self.run(get_experiment(name).make_spec(self.full))

@@ -1,0 +1,149 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` names a *cell function* (a registered, pure,
+JSON-in/JSON-out measurement — see :mod:`repro.experiments.runner`) and a
+parameter grid: ordered axes, base parameters shared by every cell, and
+per-axis overrides (e.g. "on scenario 8x22b-env1, use n = 10").
+:meth:`ExperimentSpec.cells` expands the grid into concrete
+:class:`Cell` objects; each cell is content-addressed by a stable hash of
+``(cell function, parameters)`` which doubles as the artifact-store key,
+so identical cells shared by two experiments (Figure 10 and Figure 11 use
+the same end-to-end grid) are computed exactly once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+# Bump to invalidate every cached artifact after a semantic change to the
+# simulation that does not show up in cell parameters.
+CACHE_VERSION = 1
+
+
+def canonical_json(value) -> str:
+    """Serialize ``value`` as deterministic (sorted-key, compact) JSON.
+
+    Args:
+        value: any JSON-serializable object.
+
+    Returns:
+        The canonical JSON string used for hashing.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(value) -> str:
+    """SHA-256 hex digest of ``value``'s canonical JSON.
+
+    Args:
+        value: any JSON-serializable object.
+
+    Returns:
+        A 64-character lowercase hex digest.
+    """
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()
+
+
+def cell_key(runner: str, params: dict) -> str:
+    """Content-address of one cell: hash of (cache version, runner, params).
+
+    Args:
+        runner: registered cell-function name.
+        params: the cell's fully-resolved parameter dict.
+
+    Returns:
+        The artifact-store key for this cell.
+    """
+    return stable_hash(
+        {"version": CACHE_VERSION, "runner": runner, "params": params}
+    )
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One concrete measurement point of an experiment grid.
+
+    Attributes:
+        spec_name: owning experiment name.
+        runner: registered cell-function name.
+        params: fully-resolved parameter dict.
+        key: content hash (artifact-store address).
+    """
+
+    spec_name: str
+    runner: str
+    params: dict
+    key: str
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative model x env x workload x system grid.
+
+    Attributes:
+        name: registry name (e.g. ``fig10``).
+        title: human-readable title used in reports.
+        runner: registered cell-function name executed per cell.
+        axes: ordered ``(axis_name, values)`` pairs; the grid is their
+            cartesian product, expanded with the last axis fastest.
+        base: parameters shared by every cell.
+        overrides: ``(match, params)`` pairs; when every ``match`` item
+            equals the cell's axis assignment, ``params`` is merged in
+            (later overrides win).
+    """
+
+    name: str
+    title: str
+    runner: str
+    axes: tuple = ()
+    base: dict = field(default_factory=dict)
+    overrides: tuple = ()
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form of the spec (the input to :meth:`spec_hash`)."""
+        return {
+            "name": self.name,
+            "runner": self.runner,
+            "axes": [[axis, list(values)] for axis, values in self.axes],
+            "base": dict(self.base),
+            "overrides": [
+                [dict(match), dict(params)] for match, params in self.overrides
+            ],
+        }
+
+    def spec_hash(self) -> str:
+        """Stable hash of the whole spec (changes iff the grid changes)."""
+        return stable_hash(self.to_dict())
+
+    def cells(self) -> list[Cell]:
+        """Expand the grid into concrete cells.
+
+        Returns:
+            One :class:`Cell` per point of the cartesian product of the
+            axes, in axis order, with base parameters and any matching
+            overrides merged in.
+        """
+        assignments: list[dict] = [{}]
+        for axis, values in self.axes:
+            assignments = [
+                {**assignment, axis: value}
+                for assignment in assignments
+                for value in values
+            ]
+        cells = []
+        for assignment in assignments:
+            params = {**self.base, **assignment}
+            for match, extra in self.overrides:
+                if all(assignment.get(k) == v for k, v in match.items()):
+                    params.update(extra)
+            cells.append(
+                Cell(
+                    spec_name=self.name,
+                    runner=self.runner,
+                    params=params,
+                    key=cell_key(self.runner, params),
+                )
+            )
+        return cells

@@ -16,7 +16,14 @@ import numpy as np
 
 @dataclass(frozen=True)
 class Workload:
-    """One inference job: ``num_batches`` batches processed as a group."""
+    """One inference job: ``num_batches`` batches processed as a group.
+
+    Attributes:
+        batch_size: sequences per batch.
+        num_batches: batches in the batch group (the paper's ``n``).
+        prompt_len: prompt tokens per sequence.
+        gen_len: generated tokens per sequence.
+    """
 
     batch_size: int
     num_batches: int
@@ -50,6 +57,14 @@ class Workload:
         return self.gen_len
 
     def with_batches(self, num_batches: int) -> "Workload":
+        """Copy of this workload with a different batch-group size.
+
+        Args:
+            num_batches: the new group size.
+
+        Returns:
+            The adjusted workload.
+        """
         return Workload(self.batch_size, num_batches, self.prompt_len, self.gen_len)
 
 
@@ -57,7 +72,15 @@ PAPER_WORKLOAD_KWARGS = dict(prompt_len=512, gen_len=32)
 
 
 def paper_workload(batch_size: int, num_batches: int) -> Workload:
-    """The paper's standard workload: 512-token prompts, 32 output tokens."""
+    """The paper's standard workload: 512-token prompts, 32 output tokens.
+
+    Args:
+        batch_size: sequences per batch.
+        num_batches: batches in the batch group.
+
+    Returns:
+        The §9.1 :class:`Workload` at the requested shape.
+    """
     return Workload(batch_size, num_batches, **PAPER_WORKLOAD_KWARGS)
 
 

@@ -21,7 +21,17 @@ from repro.routing.workload import Workload
 
 @dataclass(frozen=True)
 class Scenario:
-    """One evaluation point shared by every compared system."""
+    """One evaluation point shared by every compared system.
+
+    Attributes:
+        model: the model preset under test.
+        hardware: the simulated environment.
+        workload: batch shape and sequence lengths.
+        skew: Zipf skew of the synthetic expert-popularity model.
+        correlation: inter-layer routing correlation strength.
+        seed: routing RNG seed (pins the token stream).
+        prefill_token_cap: cap on sampled prefill tokens per batch.
+    """
 
     model: ModelConfig
     hardware: HardwareSpec

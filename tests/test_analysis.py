@@ -135,6 +135,65 @@ class TestResultGrid:
         grid.add("a", 1, 1.0)
         assert grid.systems() == ["z", "a"]
 
+    def test_speedup_ignores_oom_cells(self):
+        grid = ResultGrid("t", "bs")
+        grid.add("klotski", 4, 10.0)
+        grid.add("klotski", 8, 100.0)
+        grid.add("slow", 4, 5.0)
+        grid.add_oom("slow", 8)  # the 20x column must not count
+        assert grid.speedup("klotski", "slow") == pytest.approx(2.0)
+
+    def test_speedup_ignores_oom_in_numerator(self):
+        grid = ResultGrid("t", "bs")
+        grid.add_oom("klotski", 4)
+        grid.add("klotski", 8, 6.0)
+        grid.add("slow", 4, 1.0)
+        grid.add("slow", 8, 3.0)
+        assert grid.speedup("klotski", "slow") == pytest.approx(2.0)
+
+    def test_speedup_no_comparable_column_is_nan(self):
+        grid = ResultGrid("t", "bs")
+        grid.add("klotski", 4, 10.0)
+        grid.add_oom("slow", 4)
+        assert math.isnan(grid.speedup("klotski", "slow"))
+        assert math.isnan(grid.speedup("klotski", "absent"))
+
+    def test_speedup_ignores_nonpositive_baseline(self):
+        grid = ResultGrid("t", "bs")
+        grid.add("klotski", 4, 10.0)
+        grid.add("slow", 4, 0.0)
+        assert math.isnan(grid.speedup("klotski", "slow"))
+
+    def test_add_after_oom_clears_the_mark(self):
+        grid = ResultGrid("t", "bs")
+        grid.add_oom("a", 4)
+        grid.add("a", 4, 2.0)
+        assert grid.get("a", 4) == 2.0
+        grid.add_oom("a", 4)
+        assert math.isnan(grid.get("a", 4))
+        assert (("a", 4)) not in grid.cells
+
+    def test_to_markdown_renders_oom_and_missing(self):
+        grid = ResultGrid("t", "batch size")
+        grid.add("klotski", 4, 1.5)
+        grid.add("klotski", 8, 2.25)
+        grid.add("fiddler", 4, 0.5)
+        grid.add_oom("fiddler", 8)
+        grid.add("late", 8, 3.0)  # never ran at bs=4 -> missing cell
+        out = grid.to_markdown()
+        lines = out.splitlines()
+        assert lines[0] == "| batch size | 4 | 8 |"
+        assert lines[1] == "|---|---|---|"
+        assert "| klotski | 1.50 | 2.25 |" in lines
+        assert "| fiddler | 0.50 | OOM |" in lines
+        assert "| late | — | 3.00 |" in lines
+
+    def test_to_markdown_custom_format_and_missing(self):
+        grid = ResultGrid("t", "n")
+        grid.add("a", 3, 1.2345)
+        out = grid.to_markdown(fmt=".3f", missing="n/a")
+        assert "| a | 1.234 |" in out or "| a | 1.235 |" in out
+
 
 class TestImprovementFactor:
     def test_ratio(self):

@@ -1,0 +1,84 @@
+"""Docstring audit of the public API surface.
+
+Every name exported from ``repro`` and ``repro.cluster`` (their
+``__all__``) must carry a docstring with a one-line summary; routines
+(functions and public methods' owning callables) must additionally
+document their parameters and say what they return. This keeps the
+quickstart surface self-describing in ``help()`` / IDE hovers.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro
+import repro.cluster
+import repro.experiments
+
+MODULES = (repro, repro.cluster, repro.experiments)
+
+
+def exported_objects():
+    out = []
+    for module in MODULES:
+        for name in module.__all__:
+            if name.startswith("__"):
+                continue  # dunder metadata like __version__
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isroutine(obj):
+                out.append(pytest.param(obj, id=f"{module.__name__}.{name}"))
+    return out
+
+
+def summary_line(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+@pytest.mark.parametrize("obj", exported_objects())
+def test_export_has_one_line_summary(obj):
+    summary = summary_line(obj)
+    assert summary, f"{obj!r} has no docstring"
+    assert len(summary) >= 10, f"{obj!r} summary too thin: {summary!r}"
+
+
+@pytest.mark.parametrize("obj", exported_objects())
+def test_routine_documents_args_and_returns(obj):
+    """Functions must name every parameter and state their return."""
+    if not inspect.isroutine(obj):
+        pytest.skip("class: fields documented via class docstring")
+    doc = inspect.getdoc(obj) or ""
+    signature = inspect.signature(obj)
+    params = [
+        p
+        for p in signature.parameters.values()
+        if p.name not in ("self", "cls") and p.kind != p.VAR_KEYWORD
+    ]
+    for param in params:
+        assert param.name in doc, (
+            f"{obj.__qualname__}: parameter {param.name!r} undocumented"
+        )
+    if signature.return_annotation not in (None, "None", inspect.Signature.empty):
+        assert "eturn" in doc, f"{obj.__qualname__}: return value undocumented"
+
+
+@pytest.mark.parametrize("obj", exported_objects())
+def test_class_constructor_params_documented(obj):
+    """A class must document its constructor parameters somewhere in the
+    class or ``__init__`` docstring (dataclass fields count via the
+    class docstring)."""
+    if not inspect.isclass(obj):
+        pytest.skip("routine")
+    doc = (inspect.getdoc(obj) or "") + (inspect.getdoc(obj.__init__) or "")
+    try:
+        signature = inspect.signature(obj)
+    except (TypeError, ValueError):
+        return
+    for param in signature.parameters.values():
+        if param.name in ("self", "args", "kwargs"):
+            continue
+        assert param.name in doc, (
+            f"{obj.__name__}: constructor parameter {param.name!r} undocumented"
+        )

@@ -1,0 +1,210 @@
+"""Unit tests for the experiment-orchestration subsystem.
+
+Covers spec expansion (axes, overrides, hashing), the content-addressed
+artifact store (hit/miss on spec change, resumability), parallel vs
+serial result equality, and the ">= 90 % cache hits on a re-run"
+acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ArtifactStore,
+    ExperimentSpec,
+    Runner,
+    all_experiments,
+    cell_key,
+    get_experiment,
+)
+
+PROBE_SPEC = ExperimentSpec(
+    name="probe-grid",
+    title="probe",
+    runner="probe",
+    axes=(("a", (1, 2, 3, 4)), ("b", ("x", "y", "z"))),
+    base={"value": 2},
+    overrides=(({"a": 3}, {"value": 5}),),
+)
+
+
+class TestSpecExpansion:
+    def test_grid_size_is_axis_product(self):
+        assert len(PROBE_SPEC.cells()) == 4 * 3
+
+    def test_axis_order_last_axis_fastest(self):
+        cells = PROBE_SPEC.cells()
+        assert [c.params["b"] for c in cells[:3]] == ["x", "y", "z"]
+        assert all(c.params["a"] == 1 for c in cells[:3])
+
+    def test_base_params_in_every_cell(self):
+        assert all("value" in c.params for c in PROBE_SPEC.cells())
+
+    def test_override_applies_only_to_matching_cells(self):
+        cells = PROBE_SPEC.cells()
+        assert all(
+            c.params["value"] == (5 if c.params["a"] == 3 else 2) for c in cells
+        )
+
+    def test_cell_keys_are_unique_and_param_derived(self):
+        cells = PROBE_SPEC.cells()
+        assert len({c.key for c in cells}) == len(cells)
+        assert cells[0].key == cell_key("probe", cells[0].params)
+
+    def test_spec_hash_stable_and_sensitive(self):
+        same = ExperimentSpec(
+            name=PROBE_SPEC.name,
+            title="different title is cosmetic",
+            runner=PROBE_SPEC.runner,
+            axes=PROBE_SPEC.axes,
+            base=dict(PROBE_SPEC.base),
+            overrides=PROBE_SPEC.overrides,
+        )
+        assert same.spec_hash() == PROBE_SPEC.spec_hash()
+        changed = ExperimentSpec(
+            name=PROBE_SPEC.name,
+            title=PROBE_SPEC.title,
+            runner=PROBE_SPEC.runner,
+            axes=PROBE_SPEC.axes,
+            base={"value": 3},
+            overrides=PROBE_SPEC.overrides,
+        )
+        assert changed.spec_hash() != PROBE_SPEC.spec_hash()
+
+    def test_registered_specs_expand(self):
+        for experiment in all_experiments():
+            for full in (False, True):
+                cells = experiment.make_spec(full).cells()
+                assert cells, experiment.name
+                assert len({c.key for c in cells}) == len(cells)
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        runner = Runner(store)
+        first = runner.run(PROBE_SPEC)
+        assert first.stats.computed == 12 and first.stats.cached == 0
+        second = runner.run(PROBE_SPEC)
+        assert second.stats.computed == 0 and second.stats.cached == 12
+        assert [r.result for r in first.results] == [
+            r.result for r in second.results
+        ]
+
+    def test_rerun_is_at_least_90_percent_cache_hit(self, tmp_path):
+        """Acceptance criterion: a second `experiments run` is >= 90 % hits."""
+        store = ArtifactStore(tmp_path)
+        runner = Runner(store)
+        runner.run(PROBE_SPEC)
+        runner.run_experiment("table2")
+        assert runner.run(PROBE_SPEC).stats.hit_rate >= 0.9
+        assert runner.run_experiment("table2").stats.hit_rate >= 0.9
+
+    def test_spec_change_misses_only_changed_cells(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        runner = Runner(store)
+        runner.run(PROBE_SPEC)
+        grown = ExperimentSpec(
+            name=PROBE_SPEC.name,
+            title=PROBE_SPEC.title,
+            runner=PROBE_SPEC.runner,
+            axes=(("a", (1, 2, 3, 4, 5)), ("b", ("x", "y", "z"))),
+            base=dict(PROBE_SPEC.base),
+            overrides=PROBE_SPEC.overrides,
+        )
+        run = runner.run(grown)
+        assert run.stats.cached == 12  # the original grid
+        assert run.stats.computed == 3  # only the new a=5 column
+
+    def test_param_change_invalidates(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        runner = Runner(store)
+        runner.run(PROBE_SPEC)
+        changed = ExperimentSpec(
+            name=PROBE_SPEC.name,
+            title=PROBE_SPEC.title,
+            runner=PROBE_SPEC.runner,
+            axes=PROBE_SPEC.axes,
+            base={"value": 7},
+            overrides=(),
+        )
+        run = runner.run(changed)
+        assert run.stats.cached == 0 and run.stats.computed == 12
+
+    def test_force_recomputes_but_refreshes_cache(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        Runner(store).run(PROBE_SPEC)
+        forced = Runner(store, force=True).run(PROBE_SPEC)
+        assert forced.stats.computed == 12
+        assert Runner(store).run(PROBE_SPEC).stats.cached == 12
+
+    def test_corrupt_artifact_treated_as_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        runner = Runner(store)
+        run = runner.run(PROBE_SPEC)
+        victim = run.results[0].cell.key
+        store.path_for(victim).write_text("{not json")
+        again = runner.run(PROBE_SPEC)
+        assert again.stats.computed == 1 and again.stats.cached == 11
+
+    def test_store_counts_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert len(store) == 0
+        Runner(store).run(PROBE_SPEC)
+        assert len(store) == 12
+
+
+class TestParallelExecution:
+    def test_parallel_equals_serial_fixed_seed(self, tmp_path):
+        serial = Runner(ArtifactStore(tmp_path / "serial"), jobs=1)
+        parallel = Runner(ArtifactStore(tmp_path / "parallel"), jobs=3)
+        a = serial.run(PROBE_SPEC)
+        b = parallel.run(PROBE_SPEC)
+        assert [r.result for r in a.results] == [r.result for r in b.results]
+
+    def test_parallel_equals_serial_real_experiment(self, tmp_path):
+        """fig5's seeded sampling must not depend on worker scheduling."""
+        serial = Runner(ArtifactStore(tmp_path / "serial"), jobs=1)
+        parallel = Runner(ArtifactStore(tmp_path / "parallel"), jobs=2)
+        a = serial.run_experiment("fig5")
+        b = parallel.run_experiment("fig5")
+        assert [r.result for r in a.results] == [r.result for r in b.results]
+        assert b.stats.computed == 4
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        names = [e.name for e in all_experiments()]
+        assert names == [
+            "fig5", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "table1", "table2", "table3",
+        ]
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_fig10_and_fig11_share_cells(self):
+        fig10 = get_experiment("fig10").make_spec(False).cells()
+        fig11 = get_experiment("fig11").make_spec(False).cells()
+        assert {c.key for c in fig10} == {c.key for c in fig11}
+
+    def test_operating_points_share_only_fixed_point_cells(self):
+        """Scaled experiments (e2e: n and gen_len change with the point)
+        recompute every cell at full scale; fixed-point figures like
+        fig15 share their cells between the two points."""
+        reduced = {c.key for c in get_experiment("fig10").make_spec(False).cells()}
+        full = {c.key for c in get_experiment("fig10").make_spec(True).cells()}
+        assert not reduced & full  # n and gen_len change with the point
+        fig15_reduced = {
+            c.key for c in get_experiment("fig15").make_spec(False).cells()
+        }
+        fig15_full = {c.key for c in get_experiment("fig15").make_spec(True).cells()}
+        assert fig15_reduced == fig15_full  # fixed-point figures are shared
+
+    def test_result_for_lookup(self, tmp_path):
+        run = Runner(ArtifactStore(tmp_path)).run_experiment("table2")
+        assert run.result_for(env="env1")["vram_gib"] == 24
+        with pytest.raises(KeyError):
+            run.result_for(env="env3")

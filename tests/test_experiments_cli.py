@@ -1,0 +1,116 @@
+"""CLI tests for `repro.cli experiments list|run|report`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def run_cli(capsys, *argv) -> tuple[int, str]:
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestExperimentsList:
+    def test_lists_all_registered(self, capsys, cache_dir):
+        code, out = run_cli(capsys, "experiments", "list", "--cache", cache_dir)
+        assert code == 0
+        for name in ("fig5", "fig10", "table3"):
+            assert name in out
+
+    def test_json_shape(self, capsys, cache_dir):
+        code, out = run_cli(
+            capsys, "experiments", "list", "--json", "--cache", cache_dir
+        )
+        assert code == 0
+        payload = json.loads(out)
+        rows = {row["name"]: row for row in payload["experiments"]}
+        assert rows["fig10"]["cells"] == 63
+        assert rows["fig10"]["cached"] == 0
+        assert len(rows["fig10"]["spec_hash"]) == 64
+
+
+class TestExperimentsRun:
+    def test_json_round_trip(self, capsys, cache_dir):
+        code, out = run_cli(
+            capsys,
+            "experiments", "run", "table2", "fig5",
+            "--json", "--cache", cache_dir,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        by_name = {row["name"]: row for row in payload["experiments"]}
+        assert by_name["table2"]["computed"] == 2
+        assert by_name["fig5"]["cells"] == 4
+        assert payload["cache_dir"] == cache_dir
+
+        # Second run round-trips through the cache: everything is a hit.
+        code, out = run_cli(
+            capsys,
+            "experiments", "run", "table2", "fig5",
+            "--json", "--cache", cache_dir,
+        )
+        payload = json.loads(out)
+        assert all(
+            row["hit_rate"] == 1.0 and row["computed"] == 0
+            for row in payload["experiments"]
+        )
+
+    def test_unknown_name_exits_with_message(self, cache_dir):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiments", "run", "fig99", "--cache", cache_dir])
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiments", "report", "fig99", "--cache", cache_dir])
+
+
+class TestExperimentsReport:
+    def test_report_writes_and_check_passes(self, capsys, tmp_path, cache_dir):
+        out_path = tmp_path / "results.md"
+        code, _ = run_cli(
+            capsys,
+            "experiments", "report", "table2", "fig5",
+            "--out", str(out_path), "--cache", cache_dir,
+        )
+        assert code == 0
+        text = out_path.read_text()
+        assert "Table 2 — Hardware environments" in text
+        assert "| GPU | rtx3090 24 GB | h800 80 GB |" in text
+        assert "Expert popularity — mixtral-8x7b" in text
+
+        code, out = run_cli(
+            capsys,
+            "experiments", "report", "table2", "fig5",
+            "--check", "--out", str(out_path), "--cache", cache_dir,
+        )
+        assert code == 0 and "up to date" in out
+
+    def test_check_fails_when_stale(self, capsys, tmp_path, cache_dir):
+        out_path = tmp_path / "results.md"
+        run_cli(
+            capsys,
+            "experiments", "report", "table2",
+            "--out", str(out_path), "--cache", cache_dir,
+        )
+        out_path.write_text(out_path.read_text() + "\nhand edit\n")
+        code, out = run_cli(
+            capsys,
+            "experiments", "report", "table2",
+            "--check", "--out", str(out_path), "--cache", cache_dir,
+        )
+        assert code == 1 and "stale" in out
+
+    def test_check_fails_when_missing(self, capsys, tmp_path, cache_dir):
+        code, out = run_cli(
+            capsys,
+            "experiments", "report", "table2",
+            "--check", "--out", str(tmp_path / "absent.md"), "--cache", cache_dir,
+        )
+        assert code == 1 and "stale" in out
