@@ -102,6 +102,9 @@ class SiDASystem(InferenceSystem):
     def __init__(self, accuracy: float = 0.9):
         self.accuracy = accuracy
 
+    def cache_key(self) -> tuple:
+        return super().cache_key() + (self.accuracy,)
+
     def make_features(self, scenario: Scenario) -> PipelineFeatures:
         return PipelineFeatures(overlap=True, hot_prefetch=True, adjust_order=False)
 

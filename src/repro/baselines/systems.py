@@ -87,6 +87,9 @@ class MoEInfinitySystem(InferenceSystem):
     def __init__(self, cache_fraction: float = 0.15):
         self.cache_fraction = cache_fraction
 
+    def cache_key(self) -> tuple:
+        return super().cache_key() + (self.cache_fraction,)
+
     def make_features(self, scenario: Scenario) -> PipelineFeatures:
         return PipelineFeatures(
             overlap=True, hot_prefetch=True, adjust_order=False

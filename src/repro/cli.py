@@ -14,6 +14,9 @@ Subcommands mirror how the paper's system is operated:
   (``repro.experiments``): ``list`` the registered paper figures/tables,
   ``run`` their cell grids in parallel against the content-addressed
   artifact cache, and ``report`` them into ``docs/results.md``
+* ``bench``      — perf smoke: time one reduced cell per experiment (plus
+  the full-scale Figure 10 reference cell) and write ``BENCH.json``, so
+  CI tracks the simulator's performance trajectory
 
 ``run``, ``compare``, ``serve``, ``experiments list``, and
 ``experiments run`` accept ``--json`` to emit machine-readable results
@@ -350,6 +353,97 @@ def cmd_experiments_report(args) -> int:
     return 0
 
 
+def _clear_perf_memos() -> None:
+    """Reset process-wide memos so bench timings measure cold work."""
+    from repro.cluster.replica import clear_group_timing_memo
+    from repro.core.engine import clear_warmup_trace_memo
+    from repro.routing.oracle import clear_step_routing_memo
+
+    clear_step_routing_memo()
+    clear_warmup_trace_memo()
+    clear_group_timing_memo()
+
+
+# The paper's full-scale fig10 operating point (Mixtral-8x7B on Env1,
+# bs = 64, n = 15, gen = 32) — the perf-smoke's end-to-end reference cell.
+_BENCH_FULLSCALE_PARAMS = {
+    "model": "mixtral-8x7b",
+    "env": "env1",
+    "batch_size": 64,
+    "n": 15,
+    "prompt_len": 512,
+    "gen_len": 32,
+    "seed": 1,
+    "system": "klotski",
+}
+
+
+def cmd_bench(args) -> int:
+    """Perf smoke: time one reduced cell per experiment into BENCH.json."""
+    import time
+    from pathlib import Path
+
+    from repro.experiments.runner import execute_cell
+
+    experiments = _resolve_experiments(args.names)
+    cells = []
+    suite_start = time.perf_counter()
+    for experiment in experiments:
+        cell = experiment.make_spec(False).cells()[0]
+        _clear_perf_memos()
+        t0 = time.perf_counter()
+        execute_cell((cell.runner, cell.params))
+        seconds = time.perf_counter() - t0
+        cells.append(
+            {
+                "experiment": experiment.name,
+                "runner": cell.runner,
+                "seconds": round(seconds, 4),
+            }
+        )
+        if not args.json:
+            print(f"{experiment.name:<8} {cell.runner:<18} {seconds:8.3f} s")
+    suite_wall = time.perf_counter() - suite_start
+
+    payload = {
+        "generated_by": "repro.cli bench",
+        "suite_wall_s": round(suite_wall, 3),
+        "cells": cells,
+    }
+    if not args.skip_full_cell:
+        params = dict(_BENCH_FULLSCALE_PARAMS)
+        _clear_perf_memos()
+        t0 = time.perf_counter()
+        execute_cell(("e2e", params))
+        cold_s = time.perf_counter() - t0
+        # Second run reuses the process-wide routing/warm-up memos — the
+        # steady state of a grid run, where systems share the oracle.
+        t0 = time.perf_counter()
+        execute_cell(("e2e", params))
+        warm_s = time.perf_counter() - t0
+        payload["fullscale_fig10"] = {
+            "params": params,
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+        }
+        if not args.json:
+            print(
+                f"fullscale_fig10: cold {cold_s:.3f} s, "
+                f"warm (shared routing) {warm_s:.3f} s"
+            )
+    if args.baseline:
+        try:
+            payload["baseline"] = json.loads(Path(args.baseline).read_text())
+        except FileNotFoundError:
+            raise SystemExit(f"baseline file not found: {args.baseline}") from None
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"wrote {args.out} (suite {suite_wall:.2f} s)")
+    return 0
+
+
 def cmd_sweep_n(args) -> int:
     grid = ResultGrid(
         f"Throughput vs n — {args.model} on {args.env} (bs={args.batch_size})", "n"
@@ -487,6 +581,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if the report on disk is stale instead of writing",
     )
     ep.set_defaults(func=cmd_experiments_report)
+
+    p = sub.add_parser(
+        "bench",
+        help="perf smoke: time one reduced cell per experiment -> BENCH.json",
+    )
+    p.add_argument(
+        "names", nargs="*",
+        help="experiment names (default: all registered)",
+    )
+    p.add_argument("--out", default="BENCH.json", help="output JSON path")
+    p.add_argument(
+        "--skip-full-cell", action="store_true",
+        help="skip the full-scale fig10 reference cell",
+    )
+    p.add_argument(
+        "--baseline",
+        help="JSON file of reference timings embedded under 'baseline'",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON to stdout")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("sweep-n", help="throughput vs batch-group size")
     _add_scenario_args(p)

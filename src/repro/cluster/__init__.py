@@ -9,7 +9,12 @@ under an SLO, per-replica utilization, and cost-per-token.
 """
 
 from repro.cluster.events import ARRIVAL, COMPLETION, DEADLINE, Event, EventQueue
-from repro.cluster.replica import DispatchedGroup, GroupTiming, Replica
+from repro.cluster.replica import (
+    DispatchedGroup,
+    GroupTiming,
+    Replica,
+    clear_group_timing_memo,
+)
 from repro.cluster.report import (
     ClusterReport,
     ReplicaStats,
@@ -34,6 +39,7 @@ __all__ = [
     "DispatchedGroup",
     "GroupTiming",
     "Replica",
+    "clear_group_timing_memo",
     "ClusterReport",
     "ReplicaStats",
     "RequestRecord",

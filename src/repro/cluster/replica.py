@@ -28,6 +28,18 @@ from repro.routing.workload import Workload
 from repro.scenario import Scenario
 from repro.systems import InferenceSystem
 
+# Process-wide group-timing memo. Replicas with identical
+# (system, environment, model, scenario seed, batching shape,
+# prompt quantum) produce identical timings, so N-replica fleets — and
+# successive simulator runs comparing router policies on the same fleet —
+# share one cache instead of re-simulating N identical groups.
+_GROUP_TIMING_MEMO: dict = {}
+
+
+def clear_group_timing_memo() -> None:
+    """Drop the process-wide group-timing memo (test/benchmark hygiene)."""
+    _GROUP_TIMING_MEMO.clear()
+
 
 @dataclass
 class GroupTiming:
@@ -72,7 +84,9 @@ class Replica:
         system: the inference system executing batch groups.
         batching: group-formation policy.
         prompt_quantum: prompt-length bucket for timing memoization.
-        shared_cache: optional fleet-wide group-timing cache.
+        shared_cache: override for the group-timing cache (default: the
+            process-wide memo shared by every replica; pass a dict to
+            isolate).
     """
 
     def __init__(
@@ -90,7 +104,7 @@ class Replica:
         self.system = system
         self.batching = batching
         self.prompt_quantum = max(1, prompt_quantum)
-        self._cache = shared_cache if shared_cache is not None else {}
+        self._cache = shared_cache if shared_cache is not None else _GROUP_TIMING_MEMO
         self.resident_experts: frozenset[int] = frozenset()
 
         # Simulation state.
@@ -170,10 +184,22 @@ class Replica:
 
     def _group_timing(self, n_batches: int, prompt: int, gen: int) -> GroupTiming:
         prompt = -(-prompt // self.prompt_quantum) * self.prompt_quantum
+        # The key must fully identify the simulated computation: the full
+        # (frozen, hashable) hardware/model specs, the system's
+        # configuration fingerprint, and every scenario knob that shapes
+        # routing — names alone would let two differently-configured
+        # same-named systems collide across fleets.
+        scenario = self.scenario
         key = (
-            self.hardware_name,
-            self.scenario.model.name,
-            self.system_name,
+            scenario.hardware,
+            scenario.model,
+            self.system.cache_key(),
+            scenario.seed,
+            scenario.skew,
+            scenario.correlation,
+            scenario.prefill_token_cap,
+            self.batching.batch_size,
+            self.prompt_quantum,
             n_batches,
             prompt,
             gen,

@@ -77,7 +77,14 @@ def build_cluster(
     seed: int = 0,
     prompt_quantum: int = 64,
 ) -> list[Replica]:
-    """Build one replica per environment, sharing a group-time cache.
+    """Build one replica per environment.
+
+    Group timings are memoized in the process-wide cache shared by every
+    replica whose (system, environment, model, seed, batching shape,
+    prompt quantum) agree — see
+    :func:`repro.cluster.replica.clear_group_timing_memo` — so N-replica
+    fleets, and successive fleets in one process, never re-simulate an
+    identical group.
 
     Args:
         model: model preset served by every replica.
@@ -106,7 +113,6 @@ def build_cluster(
     )
     if len(factories) != len(environments):
         raise ValueError("need one system factory per environment")
-    shared_cache: dict = {}
     workload = Workload(
         batching.batch_size, batching.group_batches, prompt_len, gen_len
     )
@@ -117,7 +123,6 @@ def build_cluster(
             system=factory(),
             batching=batching,
             prompt_quantum=prompt_quantum,
-            shared_cache=shared_cache,
         )
         for i, (env, factory) in enumerate(zip(environments, factories))
     ]

@@ -23,6 +23,18 @@ from repro.routing.workload import Workload
 from repro.scenario import Scenario
 
 
+# Warm-up traces are pure functions of (router config, scenario seed,
+# steps, tokens); every system comparing on one scenario re-derives the
+# same traces, so share them process-wide (a trace is ~0.5 MB).
+_WARMUP_TRACE_MEMO: dict = {}
+_WARMUP_TRACE_MEMO_CAP = 16
+
+
+def clear_warmup_trace_memo() -> None:
+    """Drop the process-wide warm-up trace memo (benchmark hygiene)."""
+    _WARMUP_TRACE_MEMO.clear()
+
+
 def warm_up_prefetcher(
     scenario: Scenario,
     prefetcher: ExpertPrefetcher,
@@ -33,10 +45,19 @@ def warm_up_prefetcher(
     """Build the expert correlation table from a pre-run (paper §8:
     wikitext-2 samples at batch size 8, sequence length 512)."""
     oracle = scenario.make_oracle(batch_offset=-1)  # distinct warm-up data
-    rng = np.random.default_rng(scenario.seed + 17)
-    traces = [
-        oracle.router.sample_step(tokens_per_step, rng) for _ in range(steps)
-    ]
+    key = (oracle.router.config, scenario.seed, steps, tokens_per_step)
+    traces = _WARMUP_TRACE_MEMO.get(key)
+    if traces is None:
+        rng = np.random.default_rng(scenario.seed + 17)
+        traces = [
+            oracle.router.sample_step(tokens_per_step, rng) for _ in range(steps)
+        ]
+        for step in traces:
+            for assignment in step:
+                assignment.setflags(write=False)
+        if len(_WARMUP_TRACE_MEMO) >= _WARMUP_TRACE_MEMO_CAP:
+            _WARMUP_TRACE_MEMO.clear()
+        _WARMUP_TRACE_MEMO[key] = traces
     prefetcher.warm_up(traces)
 
 
@@ -82,6 +103,9 @@ class KlotskiSystem(InferenceSystem):
     def __init__(self, options: KlotskiOptions | None = None, name: str | None = None):
         self.options = options or KlotskiOptions()
         self.name = name or ("klotski(q)" if self.options.quantize else "klotski")
+
+    def cache_key(self) -> tuple:
+        return super().cache_key() + (self.options,)
 
     def prefetch_k(self, scenario: Scenario) -> int:
         return self.options.prefetch_k or scenario.model.top_k

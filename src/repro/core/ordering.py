@@ -29,6 +29,33 @@ class ExpertWork:
     resident: bool = False
 
 
+def ordered_active_experts(
+    counts: np.ndarray,
+    prefetched: list[int],
+    *,
+    resident: set[int] = frozenset(),
+    adjust: bool = True,
+) -> list[int]:
+    """Execution order of the activated experts (ids only; cheap path).
+
+    The ordering logic of :func:`order_experts` without the per-expert
+    :class:`ExpertWork` wrappers — the schedule builder's hot loop only
+    needs the ids.
+    """
+    active = [int(e) for e in np.nonzero(counts)[0]]
+    if not adjust:
+        return active
+    in_vram_first = set(prefetched) | set(resident)
+    ready = [e for e in active if e in in_vram_first]
+    cold = [e for e in active if e not in in_vram_first]
+    # Hot/resident experts: busiest first so cold transfers get cover.
+    # Cold experts keep their transfer (issue) order: ascending expert id
+    # is the order the builder issues on-demand transfers in.
+    counts_list = counts.tolist()
+    ready.sort(key=lambda e: (-counts_list[e], e))
+    return ready + cold
+
+
 def order_experts(
     counts: np.ndarray,
     prefetched: list[int],
@@ -44,27 +71,19 @@ def order_experts(
     attention phase. With ``adjust=False`` the order is plain ascending
     expert id (the unorchestrated baseline used in the Table 3 ablation).
     """
-    active = [int(e) for e in np.nonzero(counts)[0]]
-    in_vram_first = set(prefetched) | set(resident)
-
-    def work(expert: int) -> ExpertWork:
-        return ExpertWork(
-            expert=expert,
-            tokens=float(counts[expert]) * scale,
-            prefetched=expert in prefetched,
-            resident=expert in resident,
+    order = ordered_active_experts(
+        counts, prefetched, resident=resident, adjust=adjust
+    )
+    prefetched_set = set(prefetched)
+    return [
+        ExpertWork(
+            expert=e,
+            tokens=float(counts[e]) * scale,
+            prefetched=e in prefetched_set,
+            resident=e in resident,
         )
-
-    if not adjust:
-        return [work(e) for e in active]
-
-    ready = [e for e in active if e in in_vram_first]
-    cold = [e for e in active if e not in in_vram_first]
-    # Hot/resident experts: busiest first so cold transfers get cover.
-    ready.sort(key=lambda e: (-counts[e], e))
-    # Cold experts keep their transfer (issue) order: ascending expert id is
-    # the order the builder issues on-demand transfers in.
-    return [work(e) for e in ready] + [work(e) for e in cold]
+        for e in order
+    ]
 
 
 def cold_transfer_order(

@@ -43,6 +43,9 @@ class CorrelationTable:
         self._counts = np.zeros(
             (num_layers, num_experts**path_length, num_experts), dtype=np.float64
         )
+        # Per-layer "has data" flags; avoid scanning the table on every
+        # prediction just to know whether it is empty.
+        self._has_data = np.zeros(num_layers, dtype=bool)
 
     # ---- recording -----------------------------------------------------------
 
@@ -62,17 +65,33 @@ class CorrelationTable:
             )
             if layer < self.path_length:
                 continue
-            history = np.stack(
-                [primaries[layer - self.path_length + i] for i in range(self.path_length)],
-                axis=1,
-            )
-            paths = self.encode_paths(history)
+            if self.path_length == 1:
+                paths = primaries[layer - 1]
+            else:
+                history = np.stack(
+                    [
+                        primaries[layer - self.path_length + i]
+                        for i in range(self.path_length)
+                    ],
+                    axis=1,
+                )
+                paths = self.encode_paths(history)
             flat = paths[:, None] * self.num_experts + np.asarray(assignment)
-            np.add.at(
-                self._counts[layer].reshape(-1),
-                flat.reshape(-1),
-                1.0,
-            )
+            self._accumulate(layer, flat)
+
+    def _accumulate(self, layer: int, flat: np.ndarray) -> None:
+        """Add one routed-token batch to ``counts[layer]`` via bincount.
+
+        ``np.bincount`` on the flattened (path, expert) indices is an
+        order-of-magnitude faster than ``np.add.at`` for large expert
+        counts (switch-base-128, path_length > 1).
+        """
+        table = self._counts[layer]
+        table += np.bincount(
+            flat.reshape(-1), minlength=table.size
+        ).reshape(table.shape)
+        if flat.size:
+            self._has_data[layer] = True
 
     # ---- prediction ------------------------------------------------------------
 
@@ -84,11 +103,15 @@ class CorrelationTable:
         """
         if history is None or layer < self.path_length:
             return self._marginal[layer].copy()
-        paths = self.encode_paths(history)
-        table = self._counts[layer]
-        if not table.any():
+        if not self._has_data[layer]:
             return self._marginal[layer].copy()
-        scores = table[paths].sum(axis=0)
+        paths = history[:, 0] if self.path_length == 1 else self.encode_paths(history)
+        table = self._counts[layer]
+        # sum of gathered rows == (path histogram) @ table; both are exact
+        # integer sums in float64, so the matvec is bit-identical and far
+        # cheaper than materializing the [n_tokens, E] gather.
+        path_counts = np.bincount(paths, minlength=table.shape[0])
+        scores = path_counts @ table
         if scores.sum() == 0:
             return self._marginal[layer].copy()
         return scores
@@ -133,22 +156,42 @@ class ExpertPrefetcher:
         """Hot experts to prefetch for ``layer`` given the step so far."""
         history = None
         if len(self._history) >= self.path_length:
-            history = np.stack(self._history[-self.path_length :], axis=1)
+            if self.path_length == 1:
+                history = self._history[-1][:, None]
+            else:
+                history = np.stack(self._history[-self.path_length :], axis=1)
         return self.table.predict_hot(layer, history, self.prefetch_k)
 
-    def observe(self, layer: int, assignments: np.ndarray, predicted: list[int]) -> None:
-        """Feed back the gate's actual routing for ``layer``."""
+    def observe(
+        self,
+        layer: int,
+        assignments: np.ndarray,
+        predicted: list[int],
+        counts: np.ndarray | None = None,
+    ) -> None:
+        """Feed back the gate's actual routing for ``layer``.
+
+        ``counts`` may pass a precomputed per-expert token histogram of
+        ``assignments`` (the schedule builder already has it) to skip the
+        recount.
+        """
         assignments = np.asarray(assignments)
         self._history.append(assignments[:, 0])
-        counts = expert_token_counts(assignments, self.table.num_experts)
+        if counts is None:
+            counts = expert_token_counts(assignments, self.table.num_experts)
         self.stats.record(layer, counts, predicted, self.prefetch_k)
         if self.online_update:
             self.table._marginal[layer] += counts
             if layer >= self.path_length and len(self._history) > self.path_length:
-                history = np.stack(self._history[-self.path_length - 1 : -1], axis=1)
-                paths = self.table.encode_paths(history)
+                if self.path_length == 1:
+                    paths = self._history[-2]
+                else:
+                    history = np.stack(
+                        self._history[-self.path_length - 1 : -1], axis=1
+                    )
+                    paths = self.table.encode_paths(history)
                 flat = paths[:, None] * self.table.num_experts + assignments
-                np.add.at(self.table._counts[layer].reshape(-1), flat.reshape(-1), 1.0)
+                self.table._accumulate(layer, flat)
 
 
 class PrefetchStats:

@@ -337,7 +337,7 @@ def run_ablation_cell(params: dict) -> dict:
 def _prefill_usage(result) -> list[int]:
     """VRAM usage sampled at each GPU op start during the prefill."""
     timeline = result.timeline
-    prefill_end = timeline.executed[result.build.step_last_op[0]].end
+    prefill_end = timeline.end_of(result.build.step_last_op[0])
     samples = []
     for e in timeline.ops_on(GPU):
         if e.start > prefill_end:
@@ -449,8 +449,8 @@ def run_pipeline_compare_cell(params: dict) -> dict:
         system = KlotskiSystem()
     result = system.run(scenario)
     timeline = result.timeline
-    start = timeline.executed[result.build.step_last_op[1]].end
-    end = timeline.executed[result.build.step_last_op[2]].end
+    start = timeline.end_of(result.build.step_last_op[1])
+    end = timeline.end_of(result.build.step_last_op[2])
     bubbles = analyze_bubbles(timeline)
     return {
         "step_ms": (end - start) * 1e3,

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hardware.spec import HardwareSpec
 from repro.model.config import ModelConfig
 
@@ -46,6 +48,9 @@ class CostModel:
     def __init__(self, model: ModelConfig, hardware: HardwareSpec):
         self.model = model
         self.hardware = hardware
+        # transfer_time is pure; the pipeline builder calls it with the same
+        # handful of (nbytes, route) shapes tens of thousands of times.
+        self._transfer_cache: dict[tuple, float] = {}
 
     # ---- compute costs -----------------------------------------------------
 
@@ -84,6 +89,34 @@ class CostModel:
         """Cost of dequantizing a weight blob before compute (memory bound)."""
         return OpCost(nbytes_dequantized, 2.0 * nbytes_dequantized, 1)
 
+    # ---- vectorized costs (bit-identical to the scalar path) ----------------
+
+    def expert_times(
+        self,
+        n_tokens: np.ndarray,
+        *,
+        quantize: bool = False,
+        on_cpu: bool = False,
+    ) -> np.ndarray:
+        """Seconds per expert for an array of routed token counts.
+
+        Mirrors ``gpu_time(expert_cost(t))`` (or ``cpu_time`` with
+        ``on_cpu``) — optionally merged with the dequantization cost —
+        elementwise; identical IEEE operation order keeps the result
+        bit-equal to the scalar path.
+        """
+        cfg = self.model
+        flops = 2.0 * cfg.expert_params() * n_tokens
+        bytes_moved = cfg.expert_bytes() + 2 * n_tokens * cfg.hidden_size * cfg.dtype_bytes
+        kernels = EXPERT_KERNELS
+        if quantize:
+            deq = cfg.expert_bytes()
+            flops = flops + deq
+            bytes_moved = bytes_moved + 2.0 * deq
+            kernels += 1
+        device = self.hardware.cpu if on_cpu else self.hardware.gpu
+        return device.compute_times(flops, bytes_moved, kernels)
+
     # ---- durations ---------------------------------------------------------
 
     def gpu_time(self, cost: OpCost) -> float:
@@ -93,10 +126,15 @@ class CostModel:
         return self.hardware.cpu.compute_time(cost.flops, cost.bytes_moved, cost.kernels)
 
     def transfer_time(self, nbytes: int, src: str, dst: str, *, pinned: bool = False) -> float:
+        key = (nbytes, src, dst, pinned)
+        cached = self._transfer_cache.get(key)
+        if cached is not None:
+            return cached
         link = self.hardware.link_for(src, dst)
         seconds = link.transfer_time(nbytes)
         if pinned and {src, dst} == {"dram", "vram"}:
             seconds /= self.hardware.pinned_memory_speedup
+        self._transfer_cache[key] = seconds
         return seconds
 
     # ---- planner-facing layer timings (paper §7 notation) -------------------

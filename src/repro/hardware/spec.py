@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 GB = 1_000_000_000
 GiB = 1 << 30
 
@@ -55,6 +57,17 @@ class ComputeSpec:
     def compute_time(self, flops: float, bytes_moved: float, kernels: int = 1) -> float:
         """Seconds to run an op with the given FLOP and byte footprint."""
         roofline = max(flops / self.flops_per_s, bytes_moved / self.mem_bandwidth_bytes_per_s)
+        return self.kernel_overhead_s * kernels + roofline
+
+    def compute_times(self, flops, bytes_moved, kernels: int = 1):
+        """Vectorized :meth:`compute_time` over arrays of FLOP/byte counts.
+
+        Elementwise IEEE operations match the scalar path bit-for-bit.
+        """
+        roofline = np.maximum(
+            flops / self.flops_per_s,
+            bytes_moved / self.mem_bandwidth_bytes_per_s,
+        )
         return self.kernel_overhead_s * kernels + roofline
 
 

@@ -1,6 +1,12 @@
 """Expert routing substrate: synthetic routers, traces, and workloads."""
 
-from repro.routing.oracle import LayerRouting, RoutingOracle, SyntheticOracle, TraceOracle
+from repro.routing.oracle import (
+    LayerRouting,
+    RoutingOracle,
+    SyntheticOracle,
+    TraceOracle,
+    clear_step_routing_memo,
+)
 from repro.routing.synthetic import RoutingModelConfig, SyntheticRouter
 from repro.routing.trace import (
     ExpertTrace,
@@ -17,6 +23,7 @@ __all__ = [
     "RoutingOracle",
     "SyntheticOracle",
     "TraceOracle",
+    "clear_step_routing_memo",
     "RoutingModelConfig",
     "SyntheticRouter",
     "ExpertTrace",

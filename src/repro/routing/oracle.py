@@ -15,6 +15,7 @@ costing expert computation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -49,8 +50,28 @@ class RoutingOracle:
         raise NotImplementedError
 
 
+# Process-wide memo of sampled step routing. Synthetic streams are pure
+# functions of (router config, prefill cap, oracle seed, step, token count),
+# and comparison studies run many systems against the *same* oracle, so one
+# sampling pass serves every system sharing the evaluation point. Bounded
+# LRU: a full-scale step is ~0.5 MB, so the cap keeps this under ~64 MB.
+_STEP_ROUTING_MEMO: OrderedDict = OrderedDict()
+_STEP_ROUTING_MEMO_CAP = 96
+
+
+def clear_step_routing_memo() -> None:
+    """Drop the process-wide step-routing memo (test/benchmark hygiene)."""
+    _STEP_ROUTING_MEMO.clear()
+
+
 class SyntheticOracle(RoutingOracle):
-    """Oracle backed by :class:`SyntheticRouter`; deterministic per seed."""
+    """Oracle backed by :class:`SyntheticRouter`; deterministic per seed.
+
+    Sampled steps are memoized process-wide (the stream is a pure function
+    of the oracle's configuration), so the baselines of a comparison study
+    reuse the routing Klotski already sampled; assignments are returned
+    read-only. See :func:`clear_step_routing_memo`.
+    """
 
     def __init__(
         self,
@@ -76,10 +97,28 @@ class SyntheticOracle(RoutingOracle):
 
     def step_routing(self, step: int, workload: Workload) -> Iterator[LayerRouting]:
         n_tokens, scale = self.tokens_for_step(step, workload)
-        for layer, assignments in self.router.stream(
-            n_tokens, seed=self.seed * 100_003 + step
-        ):
-            yield LayerRouting(layer, assignments, scale)
+        key = (
+            self.router.config,
+            self.prefill_token_cap,
+            self.seed,
+            step,
+            n_tokens,
+            scale,
+        )
+        cached = _STEP_ROUTING_MEMO.get(key)
+        if cached is None:
+            cached = []
+            for layer, assignments in self.router.stream(
+                n_tokens, seed=self.seed * 100_003 + step
+            ):
+                assignments.setflags(write=False)
+                cached.append(LayerRouting(layer, assignments, scale))
+            if len(_STEP_ROUTING_MEMO) >= _STEP_ROUTING_MEMO_CAP:
+                _STEP_ROUTING_MEMO.popitem(last=False)
+            _STEP_ROUTING_MEMO[key] = cached
+        else:
+            _STEP_ROUTING_MEMO.move_to_end(key)
+        return iter(cached)
 
 
 class TraceOracle(RoutingOracle):

@@ -69,6 +69,7 @@ def table_from_dict(data: dict) -> CorrelationTable:
     )
     table._marginal[:] = np.asarray(data["marginal"], dtype=np.float64)
     table._counts[:] = np.asarray(data["counts"], dtype=np.float64)
+    table._has_data[:] = table._counts.any(axis=(1, 2))
     return table
 
 

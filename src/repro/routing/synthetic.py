@@ -76,6 +76,49 @@ class SyntheticRouter:
             [rng.permutation(config.num_experts) for _ in range(config.num_layers)]
         )
         self._rng = np.random.default_rng(config.seed + 1)
+        # Per-layer sampling tables hoisted out of the hot path: the top-k
+        # hottest experts and log-popularity for Gumbel tricks.
+        self._hot_topk = np.argsort(-self.popularity, axis=1)[:, : config.top_k]
+        self._log_pop = np.log(self.popularity + 1e-12)
+        # Pool-selection logits with guaranteed-membership (top-k) slots
+        # already pinned to +inf; read-only in sample_pool.
+        self._masked_log_pop = self._log_pop.copy()
+        for layer in range(config.num_layers):
+            self._masked_log_pop[layer][self._hot_topk[layer]] = np.inf
+        # (layer, pool bytes) -> (normalized pool popularity, cdf, log-pop):
+        # pools recur across steps, and the derived tables are deterministic
+        # functions of the pool, so caching preserves the sampled stream.
+        self._pool_tables: dict = {}
+        self._arange_cache: dict[int, np.ndarray] = {}
+
+    def _pool_table(self, layer: int, pool: np.ndarray, full_pool: bool):
+        """(pool_pop, cdf, log_pop) for one (layer, pool).
+
+        Pools recur across steps and the tables are deterministic
+        functions of the pool, so caching preserves the sampled stream.
+        The renormalization stays even for the full pool: its ulp-level
+        effect on the cdf is part of the reproducible stream.
+        """
+        key = (layer, pool.tobytes())
+        entry = self._pool_tables.get(key)
+        if entry is None:
+            if len(self._pool_tables) > 4096:
+                self._pool_tables.clear()
+            pool_pop = (
+                self.popularity[layer] if full_pool else self.popularity[layer][pool]
+            )
+            pool_pop = pool_pop / pool_pop.sum()
+            cdf = np.cumsum(pool_pop)
+            cdf[-1] = 1.0
+            entry = (pool_pop, cdf, np.log(pool_pop + 1e-12))
+            self._pool_tables[key] = entry
+        return entry
+
+    def _arange(self, n: int) -> np.ndarray:
+        cached = self._arange_cache.get(n)
+        if cached is None:
+            cached = self._arange_cache[n] = np.arange(n)
+        return cached
 
     # ---- pools -----------------------------------------------------------------
 
@@ -93,9 +136,7 @@ class SyntheticRouter:
         size = int(rng.integers(lo, hi + 1))
         if size >= cfg.num_experts:
             return np.arange(cfg.num_experts)
-        always = np.argsort(-self.popularity[layer])[: cfg.top_k]
-        logits = np.log(self.popularity[layer] + 1e-12)
-        logits[always] = np.inf  # guaranteed membership
+        logits = self._masked_log_pop[layer]  # guaranteed membership: +inf
         gumbel = -np.log(-np.log(rng.random(logits.shape) + 1e-12) + 1e-12)
         return np.sort(np.argpartition(-(logits + gumbel), size - 1)[:size])
 
@@ -128,19 +169,34 @@ class SyntheticRouter:
         """
         cfg = self.config
         rng = rng or self._rng
+        full_pool = pool is None or len(pool) == cfg.num_experts
         if pool is None:
-            pool = np.arange(cfg.num_experts)
-        pool_pop = self.popularity[layer][pool]
-        pool_pop = pool_pop / pool_pop.sum()
+            pool = self._arange(cfg.num_experts)
+        pool_pop, cdf, log_pop = self._pool_table(layer, pool, full_pool)
 
-        primary = pool[self._sample_from_distribution(pool_pop, n_tokens, rng)]
+        idx = np.searchsorted(cdf, rng.random(n_tokens)).astype(np.int64, copy=False)
+        primary = idx if full_pool else pool[idx]
         if prev_primary is not None and cfg.correlation > 0:
             chained = self.chain_map[layer][prev_primary]
-            follow = (rng.random(n_tokens) < cfg.correlation) & np.isin(chained, pool)
-            primary[follow] = chained[follow]
+            follow = rng.random(n_tokens) < cfg.correlation
+            if not full_pool:
+                in_pool = np.zeros(cfg.num_experts, dtype=bool)
+                in_pool[pool] = True
+                follow &= in_pool[chained]
+            primary = np.where(follow, chained, primary)
         if cfg.top_k == 1:
             return primary[:, None]
-        extras = self._sample_secondary(pool, pool_pop, primary, cfg.top_k - 1, rng)
+        if full_pool:
+            pos = primary  # expert id == position in the identity pool
+        else:
+            # Position of each expert within the (sorted) pool, for the
+            # primary-expert mask of the secondary draw.
+            inv = np.empty(cfg.num_experts, dtype=np.int64)
+            inv[pool] = self._arange(len(pool))
+            pos = inv[primary]
+        extras = self._sample_secondary(
+            pool, log_pop, pos, cfg.top_k - 1, rng, self._arange(n_tokens)
+        )
         return np.concatenate([primary[:, None], extras], axis=1)
 
     def sample_step(
@@ -175,26 +231,40 @@ class SyntheticRouter:
     ) -> np.ndarray:
         cdf = np.cumsum(pop)
         cdf[-1] = 1.0
-        return np.searchsorted(cdf, rng.random(n_tokens)).astype(np.int64)
+        return np.searchsorted(cdf, rng.random(n_tokens)).astype(np.int64, copy=False)
 
     @staticmethod
     def _sample_secondary(
         pool: np.ndarray,
-        pool_pop: np.ndarray,
-        primary: np.ndarray,
+        log_pop: np.ndarray,
+        primary_pos: np.ndarray,
         extra: int,
         rng: np.random.Generator,
+        rows: np.ndarray | None = None,
     ) -> np.ndarray:
         """Draw ``extra`` distinct secondary experts per token (pool only).
 
-        Uses Gumbel top-k over pool popularity with the primary expert
-        masked out — vectorized, popularity-biased, distinct picks.
+        Uses Gumbel top-k over the pool's log-popularity with the primary
+        expert (given as its position within the pool) masked out —
+        vectorized, popularity-biased, distinct picks. The per-token logit
+        matrix is never materialized: the shared log-popularity row
+        broadcasts against the per-token Gumbel noise, and the primary
+        mask lands on the noise matrix directly.
         """
-        n_tokens = len(primary)
-        logits = np.log(pool_pop + 1e-12)[None, :].repeat(n_tokens, axis=0)
-        # Mask each token's primary expert (position within the pool).
-        pos = np.searchsorted(pool, primary)
-        logits[np.arange(n_tokens), pos] = -np.inf
-        gumbel = -np.log(-np.log(rng.random(logits.shape) + 1e-12) + 1e-12)
-        top = np.argpartition(-(logits + gumbel), extra - 1, axis=1)[:, :extra]
-        return pool[top].astype(np.int64)
+        n_tokens = len(primary_pos)
+        if rows is None:
+            rows = np.arange(n_tokens)
+        # One buffer end to end: U -> Gumbel noise -> scores, in place.
+        scores = rng.random((n_tokens, len(pool)))
+        np.add(scores, 1e-12, out=scores)
+        np.log(scores, out=scores)
+        np.negative(scores, out=scores)
+        np.add(scores, 1e-12, out=scores)
+        np.log(scores, out=scores)
+        np.subtract(log_pop[None, :], scores, out=scores)
+        scores[rows, primary_pos] = -np.inf
+        if extra == 1:
+            top = np.argmax(scores, axis=1)[:, None]
+        else:
+            top = np.argpartition(-scores, extra - 1, axis=1)[:, :extra]
+        return pool[top].astype(np.int64, copy=False)

@@ -8,19 +8,41 @@ Algorithm 1. Because issue order is a valid topological order (the schedule
 IR only allows backward deps), start/end times can be computed in a single
 pass.
 
-Memory effects are replayed in simulated-time order afterwards to produce
-per-pool usage timelines and detect capacity violations, reproducing where a
-real run would raise CUDA OOM.
+Two engines implement those semantics:
+
+* the **compiled** engine (default) freezes the schedule into its
+  structure-of-arrays form and computes start/end times in one tight pass
+  over preconverted lists, then replays memory vectorized (a stable sort
+  of the flat event stream plus a per-pool ``cumsum``, with capacity
+  checks against the vectorized running peaks). It returns a *lazy*
+  :class:`~repro.runtime.timeline.Timeline` whose per-op view is only
+  materialized on demand;
+* the **legacy** engine walks materialized :class:`Op` objects one at a
+  time and builds the full view eagerly. It is kept as the executable
+  specification — the equivalence property tests assert the compiled
+  engine reproduces it bit-for-bit (start/end times, busy time, memory
+  usage, peaks, and OOM behaviour).
+
+Memory effects are replayed in simulated-time order (frees before allocs
+at identical times) to produce per-pool usage timelines and detect
+capacity violations, reproducing where a real run would raise CUDA OOM.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import OutOfMemoryError
+import numpy as np
+
+from repro.errors import OutOfMemoryError, ScheduleError
 from repro.hardware.spec import HardwareSpec
-from repro.runtime.schedule import RESOURCES, Schedule
-from repro.runtime.timeline import ExecutedOp, Timeline
+from repro.runtime.schedule import (
+    EV_ALLOC,
+    RESOURCES,
+    CompiledSchedule,
+    Schedule,
+)
+from repro.runtime.timeline import ExecutedOp, Timeline, _CompiledView
 
 
 @dataclass(frozen=True)
@@ -31,6 +53,8 @@ class ExecutorConfig:
     # Pools whose capacity is enforced; DRAM/disk planning errors are
     # placement bugs, VRAM overflow is the paper's OOM condition.
     enforced_pools: tuple[str, ...] = ("vram",)
+    # "compiled" (vectorized fast path) or "legacy" (per-op reference).
+    engine: str = "compiled"
 
 
 class Executor:
@@ -40,12 +64,147 @@ class Executor:
         self.hardware = hardware
         self.config = config or ExecutorConfig()
 
-    def run(self, schedule: Schedule, *, capacities: dict[str, int] | None = None) -> Timeline:
+    def _capacities(self, capacities: dict[str, int] | None) -> dict[str, int]:
+        if capacities is not None:
+            return capacities
+        return {
+            "vram": self.hardware.usable_vram(),
+            "dram": self.hardware.dram_bytes,
+            "disk": self.hardware.disk_bytes,
+        }
+
+    def run(
+        self,
+        schedule: Schedule | CompiledSchedule,
+        *,
+        capacities: dict[str, int] | None = None,
+    ) -> Timeline:
         """Execute ``schedule``; returns the resulting :class:`Timeline`.
 
-        ``capacities`` overrides pool capacities (defaults to the hardware
-        spec's usable VRAM / DRAM / disk sizes).
+        Accepts either the authoring :class:`Schedule` (frozen on the fly)
+        or an already-compiled :class:`CompiledSchedule`. ``capacities``
+        overrides pool capacities (defaults to the hardware spec's usable
+        VRAM / DRAM / disk sizes).
         """
+        if isinstance(schedule, CompiledSchedule):
+            return self._run_compiled(schedule, capacities)
+        if self.config.engine == "legacy":
+            return self._run_legacy(schedule, capacities)
+        return self._run_compiled(schedule.freeze(), capacities)
+
+    # ---- compiled engine ---------------------------------------------------
+
+    def _run_compiled(
+        self, compiled: CompiledSchedule, capacities: dict[str, int] | None
+    ) -> Timeline:
+        starts: list[float] = []
+        ends: list[float] = []
+        available = [0.0] * len(RESOURCES)
+        append_start = starts.append
+        append_end = ends.append
+        try:
+            # ``ends`` only holds already-finished ops, so a forward (or
+            # self) dependency fails fast as an IndexError instead of
+            # silently reading zero.
+            for code, dur, deps in zip(
+                compiled._res_list, compiled._dur_list, compiled._deps_list
+            ):
+                t = available[code]
+                for dep in deps:
+                    dep_end = ends[dep]
+                    if dep_end > t:
+                        t = dep_end
+                append_start(t)
+                t += dur
+                available[code] = t
+                append_end(t)
+        except IndexError:
+            raise ScheduleError(
+                f"op {len(ends)} has a forward or self dependency"
+            ) from None
+
+        starts_arr = np.array(starts, dtype=np.float64)
+        ends_arr = np.array(ends, dtype=np.float64)
+        # bincount accumulates in array order, matching the legacy engine's
+        # sequential ``+=`` float summation exactly.
+        busy_arr = np.bincount(
+            compiled.resources,
+            weights=compiled.durations,
+            minlength=len(RESOURCES),
+        )
+        busy = {resource: float(busy_arr[i]) for i, resource in enumerate(RESOURCES)}
+        makespan = max(ends) if ends else 0.0
+
+        usage_arrays, peaks = self._replay_memory_compiled(
+            compiled, starts_arr, ends_arr, self._capacities(capacities)
+        )
+        view = _CompiledView(compiled, starts_arr, ends_arr, usage_arrays)
+        return Timeline(
+            executed=None,
+            makespan=makespan,
+            busy_time=busy,
+            memory_usage=None,
+            memory_peak=peaks,
+            compiled_view=view,
+        )
+
+    def _replay_memory_compiled(
+        self,
+        compiled: CompiledSchedule,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        capacities: dict[str, int],
+    ) -> tuple[dict[str, tuple[np.ndarray, np.ndarray]], dict[str, int]]:
+        """Vectorized replay: stable argsort by (time, kind), per-pool cumsum."""
+        n_events = compiled.ev_op.shape[0]
+        usage: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        peaks: dict[str, int] = {}
+        if n_events == 0:
+            return usage, peaks
+        times = np.where(
+            compiled.ev_kind == EV_ALLOC,
+            starts[compiled.ev_op],
+            ends[compiled.ev_op],
+        )
+        # Event arrays are already in replay (insertion) order, and lexsort
+        # is stable, so ties on (time, kind) keep that order — exactly the
+        # legacy engine's ``events.sort(key=(time, kind))``.
+        order = np.lexsort((compiled.ev_kind, times))
+        times_s = times[order]
+        deltas_s = compiled.ev_delta[order]
+        pools_s = compiled.ev_pool[order]
+
+        oom: tuple[int, str, int, int] | None = None  # (rank, pool, delta, level)
+        for code, pool in enumerate(compiled.pool_names):
+            mask = pools_s == code
+            if not mask.any():
+                continue
+            levels = np.cumsum(deltas_s[mask])
+            peak = int(levels.max())
+            if peak > 0:
+                peaks[pool] = peak
+            usage[pool] = (times_s[mask], levels)
+            capacity = capacities.get(pool)
+            if (
+                self.config.check_memory
+                and capacity is not None
+                and pool in self.config.enforced_pools
+                and peak > capacity
+            ):
+                local = int(np.argmax(levels > capacity))
+                rank = int(np.flatnonzero(mask)[local])
+                if oom is None or rank < oom[0]:
+                    oom = (rank, pool, int(deltas_s[mask][local]), int(levels[local]))
+        if oom is not None:
+            _, pool, delta, level = oom
+            raise OutOfMemoryError(pool, delta, capacities[pool] - (level - delta))
+        return usage, peaks
+
+    # ---- legacy engine (executable specification) --------------------------
+
+    def _run_legacy(
+        self, schedule: Schedule, capacities: dict[str, int] | None
+    ) -> Timeline:
         schedule.validate()
         available = {resource: 0.0 for resource in RESOURCES}
         busy = {resource: 0.0 for resource in RESOURCES}
@@ -67,7 +226,7 @@ class Executor:
             if finish > makespan:
                 makespan = finish
 
-        usage, peaks = self._replay_memory(executed, capacities)
+        usage, peaks = self._replay_memory(executed, self._capacities(capacities))
         return Timeline(
             executed=executed,
             makespan=makespan,
@@ -79,14 +238,8 @@ class Executor:
     def _replay_memory(
         self,
         executed: list[ExecutedOp],
-        capacities: dict[str, int] | None,
+        capacities: dict[str, int],
     ) -> tuple[dict[str, list[tuple[float, int]]], dict[str, int]]:
-        if capacities is None:
-            capacities = {
-                "vram": self.hardware.usable_vram(),
-                "dram": self.hardware.dram_bytes,
-                "disk": self.hardware.disk_bytes,
-            }
         events: list[tuple[float, int, str, int, str]] = []
         for e in executed:
             # Frees sort before allocs at identical times (free-then-alloc

@@ -1,11 +1,21 @@
-"""Executed timelines: per-op start/end times plus derived statistics."""
+"""Executed timelines: per-op start/end times plus derived statistics.
+
+A :class:`Timeline` produced by the compiled executor path is *lazy*: it
+holds the compiled schedule plus start/end arrays, and only materializes
+per-op :class:`ExecutedOp` objects (or the per-pool usage step functions)
+when somebody actually asks for them. Callers that only need makespan,
+busy time, or memory peaks — the metrics hot path — never pay for the
+full view.
+"""
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.runtime.schedule import GPU, Op
+import numpy as np
+
+from repro.runtime.schedule import GPU, RESOURCES, Op
 
 
 @dataclass(frozen=True)
@@ -35,15 +45,117 @@ class IdleGap:
         return self.end - self.start
 
 
-@dataclass
-class Timeline:
-    """The result of executing a schedule."""
+class _CompiledView:
+    """Lazy backing store for timelines produced by the compiled executor.
 
-    executed: list[ExecutedOp]
-    makespan: float
-    busy_time: dict[str, float]
-    memory_usage: dict[str, list[tuple[float, int]]]
-    memory_peak: dict[str, int]
+    Holds the :class:`~repro.runtime.schedule.CompiledSchedule` and the
+    executed start/end arrays; materializes :class:`ExecutedOp` lists and
+    per-pool usage step functions on demand.
+    """
+
+    __slots__ = ("compiled", "starts", "ends", "usage_arrays")
+
+    def __init__(self, compiled, starts: np.ndarray, ends: np.ndarray, usage_arrays):
+        self.compiled = compiled
+        self.starts = starts
+        self.ends = ends
+        # pool -> (times float64 array, levels int64 array), replay order.
+        self.usage_arrays = usage_arrays
+
+    def materialize_executed(self) -> list[ExecutedOp]:
+        ops = self.compiled._schedule.ops
+        starts = self.starts.tolist()
+        ends = self.ends.tolist()
+        return [
+            ExecutedOp(ops[i], starts[i], ends[i])
+            for i in range(self.compiled.num_ops)
+        ]
+
+    def materialize_usage(self) -> dict[str, list[tuple[float, int]]]:
+        return {
+            pool: list(zip(times.tolist(), levels.tolist()))
+            for pool, (times, levels) in self.usage_arrays.items()
+        }
+
+    def idle_time(self, resource: str, min_duration: float) -> float:
+        code = RESOURCES.index(resource)
+        mask = self.compiled.resources == code
+        starts = self.starts[mask]
+        if starts.size < 2:
+            return 0.0
+        # Ops on one resource run FIFO, so ends are non-decreasing and the
+        # idle frontier is simply the previous op's end.
+        gaps = starts[1:] - self.ends[mask][:-1]
+        return float(gaps[gaps > min_duration].sum())
+
+
+class Timeline:
+    """The result of executing a schedule.
+
+    Attributes (all constructor arguments):
+        executed: per-op start/end times (materialized lazily when the
+            timeline came from the compiled executor path).
+        makespan: end time of the last op.
+        busy_time: per-resource total busy seconds.
+        memory_usage: per-pool ``(time, level)`` step functions.
+        memory_peak: per-pool peak bytes.
+    """
+
+    def __init__(
+        self,
+        executed: list[ExecutedOp] | None = None,
+        makespan: float = 0.0,
+        busy_time: dict[str, float] | None = None,
+        memory_usage: dict[str, list[tuple[float, int]]] | None = None,
+        memory_peak: dict[str, int] | None = None,
+        *,
+        compiled_view: _CompiledView | None = None,
+    ):
+        self._executed = executed
+        self.makespan = makespan
+        self.busy_time = busy_time if busy_time is not None else {}
+        self._memory_usage = memory_usage
+        self.memory_peak = memory_peak if memory_peak is not None else {}
+        self._view = compiled_view
+        if executed is None and compiled_view is None:
+            self._executed = []
+        if memory_usage is None and compiled_view is None:
+            self._memory_usage = {}
+
+    # ---- lazy views --------------------------------------------------------
+
+    @property
+    def executed(self) -> list[ExecutedOp]:
+        """Per-op execution records (materialized on first access)."""
+        if self._executed is None:
+            self._executed = self._view.materialize_executed()
+        return self._executed
+
+    @property
+    def executed_is_materialized(self) -> bool:
+        """True when the per-op view has been built (laziness probe)."""
+        return self._executed is not None
+
+    @property
+    def memory_usage(self) -> dict[str, list[tuple[float, int]]]:
+        """Per-pool usage step functions (materialized on first access)."""
+        if self._memory_usage is None:
+            self._memory_usage = self._view.materialize_usage()
+        return self._memory_usage
+
+    def start_of(self, op_id: int) -> float:
+        """Start time of one op without materializing the full view."""
+        if self._view is not None:
+            return float(self._view.starts[op_id])
+        return self.executed[op_id].start
+
+    def end_of(self, op_id: int) -> float:
+        """End time of one op without materializing the full view."""
+        if self._view is not None:
+            return float(self._view.ends[op_id])
+        return self.executed[op_id].end
+
+    # ---- derived statistics ------------------------------------------------
 
     def ops_on(self, resource: str) -> list[ExecutedOp]:
         return sorted(
@@ -63,6 +175,8 @@ class Timeline:
         return gaps
 
     def idle_time(self, resource: str = GPU) -> float:
+        if self._view is not None and self._executed is None:
+            return self._view.idle_time(resource, 1e-9)
         return sum(g.duration for g in self.idle_gaps(resource))
 
     def utilization(self, resource: str = GPU) -> float:
@@ -73,6 +187,13 @@ class Timeline:
 
     def memory_at(self, pool: str, time: float) -> int:
         """Pool usage at a given simulated time (step function lookup)."""
+        if self._view is not None and self._memory_usage is None:
+            entry = self._view.usage_arrays.get(pool)
+            if entry is None:
+                return 0
+            times, levels = entry
+            idx = int(np.searchsorted(times, time, side="right")) - 1
+            return int(levels[idx]) if idx >= 0 else 0
         samples = self.memory_usage.get(pool, [])
         if not samples:
             return 0

@@ -63,6 +63,15 @@ class InferenceSystem:
     # per batch instead of one shared learner.
     fresh_prefetcher_per_batch = False
 
+    def cache_key(self) -> tuple:
+        """Hashable fingerprint of this system's configuration.
+
+        Keys process-wide memo caches (e.g. the cluster group-timing
+        memo), so it must uniquely identify the simulated behaviour:
+        subclasses with constructor parameters extend it.
+        """
+        return (type(self).__module__, type(self).__qualname__, self.name)
+
     def make_placement(self, scenario: Scenario, group: Workload) -> PlacementPlan:
         raise NotImplementedError
 
@@ -129,7 +138,7 @@ class InferenceSystem:
         timeline = Executor(scenario.hardware).run(schedule)
         prefill_end = 0.0
         if build.step_last_op:
-            prefill_end = timeline.executed[build.step_last_op[0]].end
+            prefill_end = timeline.end_of(build.step_last_op[0])
         metrics = metrics_from_timeline(
             timeline,
             system=self.name,

@@ -1,0 +1,57 @@
+"""The ``bench`` perf-smoke subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBenchCLI:
+    def test_writes_bench_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH.json"
+        rc = main(
+            ["bench", "fig5", "table2", "--skip-full-cell", "--out", str(out)]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["suite_wall_s"] >= 0
+        names = [cell["experiment"] for cell in payload["cells"]]
+        assert names == ["fig5", "table2"]
+        for cell in payload["cells"]:
+            assert cell["seconds"] >= 0
+        assert "fullscale_fig10" not in payload
+
+    def test_json_flag_prints_payload(self, tmp_path, capsys):
+        out = tmp_path / "BENCH.json"
+        main(["bench", "table2", "--skip-full-cell", "--json", "--out", str(out)])
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == json.loads(out.read_text())
+
+    def test_baseline_embedded(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"fullscale_fig10_cold_s": 1.4}))
+        out = tmp_path / "BENCH.json"
+        main(
+            [
+                "bench", "table2", "--skip-full-cell",
+                "--out", str(out), "--baseline", str(baseline),
+            ]
+        )
+        assert json.loads(out.read_text())["baseline"] == {
+            "fullscale_fig10_cold_s": 1.4
+        }
+
+    def test_missing_baseline_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "bench", "table2", "--skip-full-cell",
+                    "--out", str(tmp_path / "b.json"),
+                    "--baseline", str(tmp_path / "missing.json"),
+                ]
+            )
+
+    def test_unknown_experiment_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "nope", "--out", str(tmp_path / "b.json")])
