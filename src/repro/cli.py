@@ -17,6 +17,12 @@ Subcommands mirror how the paper's system is operated:
 * ``bench``      — perf smoke: time one reduced cell per experiment (plus
   the full-scale Figure 10 reference cell) and write ``BENCH.json``, so
   CI tracks the simulator's performance trajectory
+* ``validate``   — correctness harness (``repro.validation``): fuzz
+  randomized-but-seeded scenarios through the legacy and compiled
+  executor engines, diff them op-for-op, and check every invariant
+  (causality, resource exclusivity, memory conservation, cluster
+  request conservation); a dedicated CI job runs ``validate --fuzz 100
+  --engine both``
 
 ``run``, ``compare``, ``serve``, ``experiments list``, and
 ``experiments run`` accept ``--json`` to emit machine-readable results
@@ -444,6 +450,26 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_validate(args) -> int:
+    """Fuzz scenarios through the validation harness; exit 1 on failure."""
+    from repro.validation import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        cases=args.fuzz,
+        seed=args.seed,
+        engine=args.engine,
+        cluster_every=args.cluster_every,
+    )
+    report = run_fuzz(config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        if report.ok:
+            print("OK: zero invariant violations, zero cross-engine diffs")
+    return 0 if report.ok else 1
+
+
 def cmd_sweep_n(args) -> int:
     grid = ResultGrid(
         f"Throughput vs n — {args.model} on {args.env} (bs={args.batch_size})", "n"
@@ -601,6 +627,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit JSON to stdout")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "validate",
+        help="fuzz scenarios through invariant checks and cross-engine diffs",
+    )
+    p.add_argument(
+        "--fuzz", type=int, default=25, metavar="N",
+        help="number of fuzzed cases (default: 25)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="base campaign seed")
+    p.add_argument(
+        "--engine", default="both", choices=["both", "compiled", "legacy"],
+        help="run both engines differentially, or a single engine with "
+        "invariant checks only",
+    )
+    p.add_argument(
+        "--cluster-every", type=int, default=4, metavar="K",
+        help="every K-th case simulates a cluster instead of a pipeline",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("sweep-n", help="throughput vs batch-group size")
     _add_scenario_args(p)

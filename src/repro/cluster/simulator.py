@@ -76,6 +76,7 @@ def build_cluster(
     gen_len: int = 8,
     seed: int = 0,
     prompt_quantum: int = 64,
+    shared_cache: dict | None = None,
 ) -> list[Replica]:
     """Build one replica per environment.
 
@@ -96,6 +97,9 @@ def build_cluster(
         gen_len: generated tokens per request.
         seed: scenario routing seed.
         prompt_quantum: prompt-length bucket for timing memoization.
+        shared_cache: group-timing cache shared by the fleet (default:
+            the process-wide memo; pass a dict to isolate this fleet,
+            e.g. for determinism checks).
 
     Returns:
         The list of replicas, ready for :class:`ClusterSimulator`.
@@ -123,6 +127,7 @@ def build_cluster(
             system=factory(),
             batching=batching,
             prompt_quantum=prompt_quantum,
+            shared_cache=shared_cache,
         )
         for i, (env, factory) in enumerate(zip(environments, factories))
     ]

@@ -32,6 +32,24 @@ from repro.scenario import Scenario
 
 
 @dataclass
+class BuiltRun:
+    """A schedule built for a scenario, ready for (or instead of) execution.
+
+    Attributes:
+        schedule: the op DAG the system emitted.
+        build: builder artifacts (step boundaries, group counts).
+        prefetcher: the prefetcher instance used while building (None for
+            systems without one).
+        placement: the placement plan the schedule was built against.
+    """
+
+    schedule: Schedule
+    build: BuildResult
+    prefetcher: ExpertPrefetcher | None
+    placement: PlacementPlan | None
+
+
+@dataclass
 class SystemResult:
     """Metrics plus run artifacts (timeline, plan data, prefetch stats)."""
 
@@ -91,7 +109,20 @@ class InferenceSystem:
 
     # ---- execution ----------------------------------------------------------
 
-    def run(self, scenario: Scenario) -> SystemResult:
+    def build(self, scenario: Scenario) -> BuiltRun:
+        """Build the scenario's schedule without executing it.
+
+        This is the system's planning/emission half of :meth:`run`; the
+        validation subsystem uses it to run one schedule through several
+        executor engines (differential testing) and invariant checkers.
+
+        Args:
+            scenario: the evaluation point to build for.
+
+        Returns:
+            The emitted schedule plus builder artifacts as a
+            :class:`BuiltRun`.
+        """
         workload = scenario.workload
         features = self.make_features(scenario)
         schedule = Schedule()
@@ -134,6 +165,18 @@ class InferenceSystem:
                 sparse_attention=sparse_attention,
             )
             build = builder.build(schedule)
+        return BuiltRun(
+            schedule=schedule,
+            build=build,
+            prefetcher=prefetcher,
+            placement=placement,
+        )
+
+    def run(self, scenario: Scenario) -> SystemResult:
+        workload = scenario.workload
+        built = self.build(scenario)
+        schedule, build = built.schedule, built.build
+        prefetcher, placement = built.prefetcher, built.placement
 
         timeline = Executor(scenario.hardware).run(schedule)
         prefill_end = 0.0

@@ -1,0 +1,50 @@
+"""Invariant checking, scenario fuzzing, and cross-engine differential
+testing.
+
+The correctness harness every refactor and optimization PR leans on:
+
+* :mod:`repro.validation.invariants` — machine-checked invariants over
+  executed timelines (causality, resource exclusivity, memory
+  conservation) and cluster reports (request conservation, replica
+  serialization, SLO/goodput accounting);
+* :mod:`repro.validation.differential` — run one schedule under both
+  the legacy and compiled executor engines and diff every observable,
+  including OOM error payloads;
+* :mod:`repro.validation.fuzz` — seeded random evaluation points
+  (models, machines, workloads, systems, fleets, arrival processes)
+  pushed through the checkers above; surfaced as
+  ``repro.cli validate --fuzz N``;
+* :mod:`repro.validation.goldens` — content-addressed golden-trace
+  snapshots under ``tests/goldens/`` with an ``--update-goldens``
+  refresh flow.
+"""
+
+from repro.validation.differential import (
+    DifferentialResult,
+    diff_timelines,
+    run_differential,
+)
+from repro.validation.fuzz import FuzzConfig, FuzzReport, run_fuzz
+from repro.validation.goldens import (
+    GoldenStore,
+    snapshot_cluster,
+    snapshot_schedule,
+    snapshot_timeline,
+)
+from repro.validation.invariants import Violation, check_cluster, check_timeline
+
+__all__ = [
+    "Violation",
+    "check_timeline",
+    "check_cluster",
+    "DifferentialResult",
+    "diff_timelines",
+    "run_differential",
+    "FuzzConfig",
+    "FuzzReport",
+    "run_fuzz",
+    "GoldenStore",
+    "snapshot_timeline",
+    "snapshot_schedule",
+    "snapshot_cluster",
+]

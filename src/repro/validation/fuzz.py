@@ -1,0 +1,516 @@
+"""Scenario fuzzing: randomized-but-seeded end-to-end validation cases.
+
+Every case is a deterministic function of ``(base seed, case index)``,
+and every failure line carries both — re-running ``repro.cli validate``
+with the same ``--seed`` (and a ``--fuzz`` count past the failing
+index) replays a CI failure locally. Two case families:
+
+* **pipeline cases** — a random small model / hardware / workload /
+  system point; the system's schedule is built once and executed under
+  both the legacy and compiled engines. The two timelines are diffed
+  op-for-op (:mod:`repro.validation.differential`) and the compiled
+  timeline is invariant-checked (:mod:`repro.validation.invariants`).
+  A second *near-OOM* execution pins the VRAM capacity to a random
+  multiplier of the observed peak, forcing both engines to agree on
+  whether — and exactly how — the run dies;
+* **cluster cases** — a random fleet (heterogeneous hardware, random
+  router, adversarial hot-expert skews) serving a random arrival process
+  (Poisson, bursty MMPP, or trace replay). The report is checked against
+  the cluster conservation/causality/accounting invariants, and the
+  whole simulation is re-run from scratch to prove determinism under a
+  fixed seed.
+
+The generated models/machines are deliberately tiny (a case runs in tens
+of milliseconds) but structurally adversarial: dense and MoE models,
+top-k up to the expert count, VRAM budgets straddling the working set,
+group batching that forces partial-group deadline dispatches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import ALL_BASELINES
+from repro.cluster import ClusterConfig, ClusterSimulator, build_cluster, make_router
+from repro.cluster.routers import ROUTERS
+from repro.core.engine import KlotskiOptions, KlotskiSystem
+from repro.errors import OutOfMemoryError, ReproError
+from repro.hardware.spec import GB, GiB, ComputeSpec, HardwareSpec, LinkSpec
+from repro.model.config import ModelConfig
+from repro.routing.workload import Workload
+from repro.runtime.executor import Executor, ExecutorConfig
+from repro.scenario import Scenario
+from repro.serving.requests import (
+    ArrivalConfig,
+    BurstyConfig,
+    assign_hot_experts,
+    generate_bursty,
+    generate_requests,
+    replay_trace,
+)
+from repro.serving.server import BatchingConfig
+from repro.validation.differential import run_differential
+from repro.validation.invariants import check_cluster, check_timeline
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzzing campaign.
+
+    Attributes:
+        cases: number of generated cases.
+        seed: base seed; case ``i`` derives its RNG from ``(seed, i)``.
+        engine: ``both`` (differential), ``compiled``, or ``legacy``
+            (single-engine runs still get invariant checks).
+        cluster_every: every N-th case is a cluster case (the rest are
+            pipeline cases).
+    """
+
+    cases: int = 25
+    seed: int = 0
+    engine: str = "both"
+    cluster_every: int = 4
+
+    def __post_init__(self):
+        if self.cases < 0:
+            raise ValueError("cases must be non-negative")
+        if self.engine not in ("both", "compiled", "legacy"):
+            raise ValueError("engine must be 'both', 'compiled', or 'legacy'")
+        if self.cluster_every < 1:
+            raise ValueError("cluster_every must be >= 1")
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzzing campaign.
+
+    Attributes:
+        seed: the campaign's base seed (replay with ``--seed``).
+        cases: cases executed.
+        pipeline_cases: pipeline (single-machine) cases among them.
+        cluster_cases: cluster cases among them.
+        ooms: cases where execution (consistently) ran out of memory.
+        build_failures: cases whose schedule could not be built (planner
+            infeasibility etc.) — skipped, not failures.
+        violations: invariant violations, prefixed with the case tag.
+        diffs: cross-engine disagreements, prefixed with the case tag.
+    """
+
+    seed: int = 0
+    cases: int = 0
+    pipeline_cases: int = 0
+    cluster_cases: int = 0
+    ooms: int = 0
+    build_failures: int = 0
+    violations: list[str] = field(default_factory=list)
+    diffs: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no case violated an invariant or diverged."""
+        return not self.violations and not self.diffs
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary of the campaign.
+
+        Returns:
+            All counters plus the (possibly empty) failure lists.
+        """
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "pipeline_cases": self.pipeline_cases,
+            "cluster_cases": self.cluster_cases,
+            "ooms": self.ooms,
+            "build_failures": self.build_failures,
+            "violations": self.violations,
+            "diffs": self.diffs,
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human-readable campaign summary.
+
+        Returns:
+            The rendered text (one line per failure, if any).
+        """
+        lines = [
+            f"fuzz: {self.cases} cases ({self.pipeline_cases} pipeline, "
+            f"{self.cluster_cases} cluster), {self.ooms} consistent OOMs, "
+            f"{self.build_failures} unbuildable (skipped)",
+            f"invariant violations: {len(self.violations)}, "
+            f"cross-engine diffs: {len(self.diffs)}",
+        ]
+        lines.extend(f"  VIOLATION {v}" for v in self.violations[:20])
+        lines.extend(f"  DIFF {d}" for d in self.diffs[:20])
+        return "\n".join(lines)
+
+
+# ---- random evaluation points ------------------------------------------------
+
+
+def random_model(rng: np.random.Generator) -> ModelConfig:
+    """Sample a tiny-but-structurally-diverse model config.
+
+    Args:
+        rng: the case's seeded generator.
+
+    Returns:
+        A valid :class:`ModelConfig` (dense or MoE, grouped-query or
+        full attention, SwiGLU or classic FFN).
+    """
+    num_heads = int(rng.choice([2, 4, 8]))
+    head_dim = int(rng.choice([8, 16]))
+    divisors = [d for d in (1, 2, 4, 8) if num_heads % d == 0]
+    num_experts = int(rng.choice([1, 2, 4, 8]))
+    return ModelConfig(
+        name=f"fuzz-moe-{num_experts}e",
+        hidden_size=num_heads * head_dim,
+        intermediate_size=int(rng.choice([2, 3, 4])) * num_heads * head_dim,
+        num_layers=int(rng.integers(2, 7)),
+        num_heads=num_heads,
+        num_kv_heads=int(rng.choice(divisors)),
+        num_experts=num_experts,
+        top_k=int(rng.integers(1, num_experts + 1)),
+        vocab_size=int(rng.choice([128, 256, 512])),
+        ffn_matrices=2 if num_experts == 1 and rng.random() < 0.5 else 3,
+    )
+
+
+def random_hardware(rng: np.random.Generator, model: ModelConfig) -> HardwareSpec:
+    """Sample a machine whose VRAM straddles the model's working set.
+
+    Args:
+        rng: the case's seeded generator.
+        model: the model the machine will serve (sizes the memory).
+
+    Returns:
+        A :class:`HardwareSpec` with VRAM between ~15% and ~300% of the
+        model's total bytes, so placements range from fully resident to
+        heavily offloaded (and occasionally infeasible).
+    """
+    total = max(model.total_bytes(), 1 << 20)
+    vram = int(total * rng.uniform(0.15, 3.0))
+    return HardwareSpec(
+        name=f"fuzz-env-{int(vram / (1 << 20))}mb",
+        gpu=ComputeSpec(
+            "fuzz-gpu",
+            float(rng.uniform(1e12, 20e12)),
+            float(rng.uniform(50, 900)) * GB,
+            kernel_overhead_s=float(rng.uniform(5e-6, 120e-6)),
+        ),
+        cpu=ComputeSpec(
+            "fuzz-cpu",
+            float(rng.uniform(0.05e12, 0.5e12)),
+            float(rng.uniform(5, 50)) * GB,
+            kernel_overhead_s=5e-6,
+        ),
+        vram_bytes=max(vram, 64 << 20),
+        dram_bytes=int(rng.uniform(8, 64)) * GiB,
+        disk_bytes=200 * GB,
+        pcie_h2d=LinkSpec("h2d", float(rng.uniform(1, 30)) * GB),
+        pcie_d2h=LinkSpec("d2h", float(rng.uniform(1, 30)) * GB),
+        disk_link=LinkSpec(
+            "disk", float(rng.uniform(0.2, 2.0)) * GB, latency_s=80e-6
+        ),
+    )
+
+
+def random_workload(rng: np.random.Generator) -> Workload:
+    """Sample a batch-group workload shape.
+
+    Args:
+        rng: the case's seeded generator.
+
+    Returns:
+        A :class:`Workload` with 1-8 sequences per batch, 1-4 batches,
+        short prompts, and 1-5 generated tokens.
+    """
+    return Workload(
+        batch_size=int(rng.integers(1, 9)),
+        num_batches=int(rng.integers(1, 5)),
+        prompt_len=int(rng.integers(8, 65)),
+        gen_len=int(rng.integers(1, 6)),
+    )
+
+
+def random_system(rng: np.random.Generator):
+    """Sample an inference system (Klotski variants plus all baselines).
+
+    Args:
+        rng: the case's seeded generator.
+
+    Returns:
+        A fresh :class:`~repro.systems.InferenceSystem` instance.
+    """
+    factories = [
+        lambda: KlotskiSystem(),
+        lambda: KlotskiSystem(KlotskiOptions(quantize=True)),
+        lambda: KlotskiSystem(KlotskiOptions(use_spare_vram=False)),
+        *[cls for cls in ALL_BASELINES],
+    ]
+    return factories[int(rng.integers(0, len(factories)))]()
+
+
+def random_scenario(rng: np.random.Generator) -> Scenario:
+    """Sample a full pipeline evaluation point.
+
+    Args:
+        rng: the case's seeded generator.
+
+    Returns:
+        A :class:`Scenario` over a random model, machine, workload, and
+        routing statistics (skew, correlation, seed).
+    """
+    model = random_model(rng)
+    return Scenario(
+        model,
+        random_hardware(rng, model),
+        random_workload(rng),
+        skew=float(rng.uniform(0.8, 1.8)),
+        correlation=float(rng.uniform(0.0, 0.9)),
+        seed=int(rng.integers(0, 2**31)),
+        prefill_token_cap=int(rng.choice([64, 256, 2048])),
+    )
+
+
+# ---- case execution ----------------------------------------------------------
+
+
+def run_pipeline_case(
+    case_seed: int, engine: str, report: FuzzReport, label: str = ""
+) -> None:
+    """Run one pipeline case and fold its outcome into ``report``.
+
+    Args:
+        case_seed: deterministic seed of this case.
+        engine: ``both`` / ``compiled`` / ``legacy``.
+        report: accumulator updated in place.
+        label: replay coordinates prefixed to failure tags (the campaign
+            runner passes ``--seed``/case-index information here).
+    """
+    rng = np.random.default_rng(case_seed)
+    scenario = random_scenario(rng)
+    system = random_system(rng)
+    tag = f"pipeline {label or f'case-seed={case_seed}'} system={system.name}"
+    report.pipeline_cases += 1
+    try:
+        built = system.build(scenario)
+    except (ReproError, ValueError):
+        report.build_failures += 1
+        return
+    schedule = built.schedule
+    capacities = {
+        "vram": scenario.hardware.usable_vram(),
+        "dram": scenario.hardware.dram_bytes,
+        "disk": scenario.hardware.disk_bytes,
+    }
+
+    if engine == "both":
+        result = run_differential(
+            schedule, scenario.hardware, capacities=capacities
+        )
+        report.diffs.extend(f"{tag}: {d}" for d in result.diffs)
+        if result.oom:
+            report.ooms += 1
+            _near_oom_probe(schedule, scenario, rng, tag, report, peak=None)
+            return
+        timeline = result.timeline
+        if timeline is None:
+            return
+    else:
+        executor = Executor(scenario.hardware, ExecutorConfig(engine=engine))
+        try:
+            timeline = executor.run(schedule, capacities=capacities)
+        except OutOfMemoryError:
+            report.ooms += 1
+            return
+
+    violations = check_timeline(schedule, timeline, capacities=capacities)
+    report.violations.extend(f"{tag}: {v}" for v in violations)
+    if engine == "both":
+        _near_oom_probe(
+            schedule, scenario, rng, tag, report,
+            peak=timeline.memory_peak.get("vram", 0),
+        )
+
+
+def _near_oom_probe(schedule, scenario, rng, tag, report, *, peak) -> None:
+    """Re-run with a VRAM budget pinned near the observed peak.
+
+    Both engines must agree on the outcome right at the memory cliff —
+    the historically bug-rich boundary (tie-broken frees vs. allocs,
+    first-violation selection). ``peak`` is the already-observed VRAM
+    peak; pass None (the OOM branch, where no timeline exists) to
+    measure it with an unchecked execution.
+    """
+    if peak is None:
+        unchecked = Executor(
+            scenario.hardware,
+            ExecutorConfig(check_memory=False, engine="compiled"),
+        )
+        peak = unchecked.run(schedule).memory_peak.get("vram", 0)
+    if peak <= 0:
+        return
+    capacity = max(1, int(peak * rng.uniform(0.85, 1.15)))
+    result = run_differential(
+        schedule, scenario.hardware, capacities={"vram": capacity}
+    )
+    report.diffs.extend(f"{tag} [near-oom cap={capacity}]: {d}" for d in result.diffs)
+    if result.oom:
+        report.ooms += 1
+    elif result.timeline is not None:
+        violations = check_timeline(
+            schedule, result.timeline, capacities={"vram": capacity}
+        )
+        report.violations.extend(
+            f"{tag} [near-oom cap={capacity}]: {v}" for v in violations
+        )
+
+
+def _random_requests(rng: np.random.Generator, model: ModelConfig) -> list:
+    """Sample a request stream (Poisson / bursty / trace replay) with
+    optionally adversarial hot-expert skew."""
+    count = int(rng.integers(6, 33))
+    kind = rng.random()
+    seed = int(rng.integers(0, 2**31))
+    if kind < 0.4:
+        requests = generate_requests(
+            ArrivalConfig(
+                rate_per_s=float(rng.uniform(0.2, 8.0)),
+                prompt_len_mean=int(rng.integers(16, 129)),
+                gen_len=int(rng.integers(1, 6)),
+                seed=seed,
+            ),
+            count,
+        )
+    elif kind < 0.7:
+        requests = generate_bursty(
+            BurstyConfig(
+                base_rate_per_s=float(rng.uniform(0.1, 1.0)),
+                burst_rate_per_s=float(rng.uniform(2.0, 20.0)),
+                switch_prob=float(rng.uniform(0.05, 0.5)),
+                prompt_len_mean=int(rng.integers(16, 129)),
+                gen_len=int(rng.integers(1, 6)),
+                seed=seed,
+            ),
+            count,
+        )
+    else:
+        arrivals = np.cumsum(rng.uniform(0.0, 2.0, size=count))
+        requests = replay_trace(
+            [
+                {
+                    "arrival_s": float(arrivals[i]),
+                    "prompt_len": int(rng.integers(8, 129)),
+                    "gen_len": int(rng.integers(1, 6)),
+                }
+                for i in range(count)
+            ]
+        )
+    style = rng.random()
+    if style < 0.4:  # Zipf-tagged, possibly extreme skew
+        requests = assign_hot_experts(
+            requests, model.num_experts, skew=float(rng.uniform(1.0, 2.5)),
+            seed=seed,
+        )
+    elif style < 0.6 and model.num_experts > 1:  # adversarial: one hot expert
+        hot = int(rng.integers(0, model.num_experts))
+        requests = [dataclasses.replace(r, hot_expert=hot) for r in requests]
+    return requests
+
+
+def run_cluster_case(case_seed: int, report: FuzzReport, label: str = "") -> None:
+    """Run one cluster case (invariants + determinism) into ``report``.
+
+    Args:
+        case_seed: deterministic seed of this case.
+        report: accumulator updated in place.
+        label: replay coordinates prefixed to failure tags.
+    """
+    rng = np.random.default_rng(case_seed)
+    model = random_model(rng)
+    n_replicas = int(rng.integers(1, 5))
+    environments = [random_hardware(rng, model) for _ in range(n_replicas)]
+    batching = BatchingConfig(
+        batch_size=int(rng.integers(1, 5)),
+        group_batches=int(rng.integers(1, 4)),
+        max_wait_s=float(rng.uniform(0.5, 30.0)),
+    )
+    router_name = str(rng.choice(sorted(ROUTERS)))
+    config = ClusterConfig(
+        slo_s=float(rng.uniform(5.0, 300.0)),
+        partition_experts=bool(rng.random() < 0.8),
+    )
+    requests = _random_requests(rng, model)
+    tag = f"cluster {label or f'case-seed={case_seed}'} router={router_name}"
+    report.cluster_cases += 1
+
+    def simulate():
+        # Each run gets its own group-timing cache: if the second run
+        # reused the process-wide memo the first run populated, the
+        # determinism check below could never catch nondeterministic
+        # group timings.
+        replicas = build_cluster(
+            model,
+            environments,
+            batching,
+            prompt_len=64,
+            gen_len=4,
+            seed=int(case_seed % 1009),
+            shared_cache={},
+        )
+        simulator = ClusterSimulator(replicas, make_router(router_name), config)
+        return simulator.run(requests)
+
+    try:
+        first = simulate()
+    except OutOfMemoryError:
+        # The sampled fleet cannot serve the sampled groups at all — an
+        # infeasible configuration, not an invariant violation.
+        report.build_failures += 1
+        return
+    except ReproError as exc:
+        report.violations.append(f"{tag}: simulation raised {exc!r}")
+        return
+    violations = check_cluster(first, requests)
+    report.violations.extend(f"{tag}: {v}" for v in violations)
+
+    # Determinism: a from-scratch rebuild (with its own empty timing
+    # cache, so every group is genuinely re-simulated) must reproduce the
+    # report byte-for-byte.
+    second = simulate()
+    if json.dumps(first.to_dict(), sort_keys=True) != json.dumps(
+        second.to_dict(), sort_keys=True
+    ):
+        report.diffs.append(f"{tag}: re-run produced a different report")
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Run a fuzzing campaign.
+
+    Args:
+        config: campaign knobs (case count, base seed, engine mode).
+
+    Returns:
+        The aggregated :class:`FuzzReport`; ``report.ok`` is the
+        pass/fail signal.
+    """
+    report = FuzzReport(seed=config.seed)
+    for i in range(config.cases):
+        case_seed = int(
+            np.random.default_rng([config.seed, i]).integers(0, 2**63)
+        )
+        report.cases += 1
+        # Failure tags carry the replay coordinates: same --seed plus a
+        # --fuzz count past the failing case index reruns the case.
+        label = f"case {i} of --seed {config.seed}"
+        if (i + 1) % config.cluster_every == 0:
+            run_cluster_case(case_seed, report, label)
+        else:
+            run_pipeline_case(case_seed, config.engine, report, label)
+    return report

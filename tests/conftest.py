@@ -10,6 +10,21 @@ from repro.model.config import ModelConfig
 from repro.routing.workload import Workload
 from repro.scenario import Scenario
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/ snapshots instead of comparing them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """True when the run should refresh golden snapshots on disk."""
+    return request.config.getoption("--update-goldens")
+
+
 TINY_MOE = ModelConfig(
     name="tiny-moe",
     hidden_size=64,

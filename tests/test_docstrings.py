@@ -1,7 +1,8 @@
 """Docstring audit of the public API surface.
 
-Every name exported from ``repro`` and ``repro.cluster`` (their
-``__all__``) must carry a docstring with a one-line summary; routines
+Every name exported from ``repro``, ``repro.cluster``,
+``repro.experiments``, and ``repro.validation`` (their ``__all__``)
+must carry a docstring with a one-line summary; routines
 (functions and public methods' owning callables) must additionally
 document their parameters and say what they return. This keeps the
 quickstart surface self-describing in ``help()`` / IDE hovers.
@@ -16,8 +17,9 @@ import pytest
 import repro
 import repro.cluster
 import repro.experiments
+import repro.validation
 
-MODULES = (repro, repro.cluster, repro.experiments)
+MODULES = (repro, repro.cluster, repro.experiments, repro.validation)
 
 
 def exported_objects():
