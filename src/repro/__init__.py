@@ -23,11 +23,26 @@ from repro.core.engine import KlotskiEngine, KlotskiOptions, KlotskiSystem
 # Imported after the core engine: the cluster layer builds on the serving
 # stack, which reaches back into repro.core via repro.systems.
 from repro.cluster import ClusterConfig, ClusterSimulator, build_cluster, make_router
+
+# The declarative configuration surface (docs/api.md): RunConfig trees,
+# plugin registries, and the builders every entry point goes through.
+from repro.api import (
+    RunConfig,
+    ScenarioConfig,
+    SystemConfig,
+    build_scenario,
+    build_system,
+    register_arrivals,
+    register_router,
+    register_system,
+    run_cluster,
+    run_pipeline,
+)
 from repro.experiments import ArtifactStore, ExperimentSpec, Runner
 from repro.routing.workload import Workload, paper_workload
 from repro.scenario import Scenario
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "KlotskiEngine",
@@ -36,6 +51,16 @@ __all__ = [
     "Workload",
     "paper_workload",
     "Scenario",
+    "RunConfig",
+    "ScenarioConfig",
+    "SystemConfig",
+    "build_scenario",
+    "build_system",
+    "run_pipeline",
+    "run_cluster",
+    "register_system",
+    "register_router",
+    "register_arrivals",
     "ClusterConfig",
     "ClusterSimulator",
     "build_cluster",

@@ -1,0 +1,122 @@
+"""`repro.api` — the declarative, registry-backed configuration surface.
+
+Every entry point of the toolkit — the CLI subcommands, the experiment
+grids, the cluster/serving layer, and the validation fuzzer — constructs
+its runs through this package:
+
+* **registries** (:mod:`repro.api.registry`) — string-keyed plugin
+  registries for inference systems, cluster routers, arrival processes,
+  and model/hardware presets, with decorator registration
+  (``@register_system`` et al.) and typo-suggesting lookups;
+* **the config tree** (:mod:`repro.api.config`) — :class:`RunConfig`
+  (:class:`ScenarioConfig` + :class:`SystemConfig` + optional
+  :class:`ClusterConfig`/:class:`ServeConfig`) with strict
+  ``from_dict``/``to_dict`` round-tripping and aggregated validation
+  reports;
+* **builders** (:mod:`repro.api.run`) — the one path from configs to
+  runtime objects (:func:`build_scenario`, :func:`build_system`,
+  :func:`build_fleet`, :func:`build_requests`) and end-to-end runners
+  (:func:`run_pipeline`, :func:`run_cluster`);
+* **canonical serialization** (:mod:`repro.api.canonical`) — the single
+  hashing convention behind experiment cache keys and golden traces.
+
+See ``docs/api.md`` for the user-facing tour, including registering a
+custom system in ~20 lines.
+"""
+
+from repro.api.canonical import canonical_json, stable_hash
+from repro.api.cells import (
+    is_scenario_cell,
+    normalize_cell_params,
+    scenario_from_cell_params,
+)
+from repro.api.config import (
+    SCHEMA_VERSION,
+    ClusterConfig,
+    RunConfig,
+    ScenarioConfig,
+    ServeConfig,
+    SystemConfig,
+)
+from repro.api.cliargs import (
+    add_scenario_flags,
+    add_set_flag,
+    apply_overrides,
+    run_config_from_args,
+    scenario_dict_from_args,
+)
+from repro.api.registry import (
+    ARRIVALS,
+    HARDWARE_PRESETS,
+    MODEL_PRESETS,
+    ROUTERS,
+    SYSTEMS,
+    Registry,
+    RegistryError,
+    arrival_names,
+    hardware_preset_names,
+    model_preset_names,
+    register_arrivals,
+    register_hardware_preset,
+    register_model_preset,
+    register_router,
+    register_system,
+    router_names,
+    system_names,
+)
+from repro.api.run import (
+    build_fleet,
+    build_requests,
+    build_scenario,
+    build_system,
+    run_cluster,
+    run_pipeline,
+)
+
+__all__ = [
+    # canonical serialization
+    "canonical_json",
+    "stable_hash",
+    # config tree
+    "SCHEMA_VERSION",
+    "RunConfig",
+    "ScenarioConfig",
+    "SystemConfig",
+    "ClusterConfig",
+    "ServeConfig",
+    # experiment-cell bridge
+    "is_scenario_cell",
+    "normalize_cell_params",
+    "scenario_from_cell_params",
+    # CLI schema derivation
+    "add_scenario_flags",
+    "add_set_flag",
+    "apply_overrides",
+    "run_config_from_args",
+    "scenario_dict_from_args",
+    # registries
+    "Registry",
+    "RegistryError",
+    "SYSTEMS",
+    "ROUTERS",
+    "ARRIVALS",
+    "MODEL_PRESETS",
+    "HARDWARE_PRESETS",
+    "register_system",
+    "register_router",
+    "register_arrivals",
+    "register_model_preset",
+    "register_hardware_preset",
+    "system_names",
+    "router_names",
+    "arrival_names",
+    "model_preset_names",
+    "hardware_preset_names",
+    # builders / runners
+    "build_scenario",
+    "build_system",
+    "build_fleet",
+    "build_requests",
+    "run_pipeline",
+    "run_cluster",
+]

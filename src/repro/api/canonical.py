@@ -1,0 +1,38 @@
+"""Canonical JSON serialization: the one hashing convention.
+
+Every content address in the toolkit — experiment cell keys, golden-trace
+names, spec hashes — is the SHA-256 of the *canonical* JSON form defined
+here (sorted keys, compact separators). Centralizing it in ``repro.api``
+makes the contract explicit: two configs are the same iff their canonical
+JSON is byte-identical, so ``RunConfig.to_dict`` round-trips are what
+keep cache keys stable across refactors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def canonical_json(value) -> str:
+    """Serialize ``value`` as deterministic (sorted-key, compact) JSON.
+
+    Args:
+        value: any JSON-serializable object.
+
+    Returns:
+        The canonical JSON string used for hashing.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(value) -> str:
+    """SHA-256 hex digest of ``value``'s canonical JSON.
+
+    Args:
+        value: any JSON-serializable object.
+
+    Returns:
+        A 64-character lowercase hex digest.
+    """
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()

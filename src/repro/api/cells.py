@@ -1,0 +1,64 @@
+"""Bridge between experiment-grid cells and the config tree.
+
+Experiment cells keep their historical flat parameter dialect —
+``{"model", "env", "batch_size", "n", "prompt_len", "gen_len", "seed"}``
+plus cell-function extras — because those dicts are content-addressed
+and renaming a key would orphan every cached artifact and golden trace.
+This module makes the dialect a *view* over :class:`ScenarioConfig`:
+grid expansion validates each scenario-shaped cell through the config
+schema (registry names, cross-field checks, one aggregated report) and
+proves the flat form round-trips bit-identically, so cache keys are
+provably stable while construction goes through ``repro.api``.
+"""
+
+from __future__ import annotations
+
+from repro.api.config import _CELL_KEYS, ScenarioConfig, SystemConfig
+from repro.errors import ConfigError
+
+
+def is_scenario_cell(params: dict) -> bool:
+    """True when ``params`` carries the full flat scenario dialect."""
+    return all(key in params for key in _CELL_KEYS)
+
+
+def normalize_cell_params(runner: str, params: dict) -> dict:
+    """Validate a cell's parameters through the config schema.
+
+    Scenario-shaped cells are parsed into a :class:`ScenarioConfig`
+    (raising one aggregated report on any problem), the ``system``
+    parameter is checked against the system registry, and the flat form
+    is proven to round-trip exactly — the invariant that keeps content
+    addresses stable. Cells without the scenario shape (hardware-fact
+    tables, popularity traces, probes) pass through untouched.
+
+    Args:
+        runner: the cell-function name (for error context only).
+        params: the cell's fully-resolved parameter dict.
+
+    Returns:
+        ``params``, unchanged — normalization validates, never rewrites,
+        precisely so the hash of the dict cannot move.
+
+    Raises:
+        ConfigValidationError: invalid scenario fields or system name.
+        ConfigError: a cell whose flat dialect does not round-trip.
+    """
+    if not is_scenario_cell(params):
+        return params
+    config = ScenarioConfig.from_cell_params(params)
+    flat = config.to_cell_params()
+    drift = {k: (params[k], flat[k]) for k in flat if params[k] != flat[k]}
+    if drift:
+        raise ConfigError(
+            f"cell params for runner {runner!r} do not round-trip through "
+            f"ScenarioConfig: {drift}"
+        )
+    if "system" in params:
+        SystemConfig.from_dict({"name": params["system"]})
+    return params
+
+
+def scenario_from_cell_params(params: dict) -> ScenarioConfig:
+    """The :class:`ScenarioConfig` view of a flat cell parameter dict."""
+    return ScenarioConfig.from_cell_params(params)

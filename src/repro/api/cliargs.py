@@ -1,0 +1,159 @@
+"""Argparse as a view over the config schema.
+
+The CLI's scenario flags are *derived* from :class:`ScenarioConfig` —
+flag names, types, defaults, and preset choices all come from the
+dataclass fields — so the command line and the declarative surface
+cannot drift apart. ``--set key=value`` is the escape hatch for
+everything the flat flags do not cover: dotted paths into the
+:class:`RunConfig` tree, values parsed as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+
+from repro.api.config import Errors, RunConfig, ScenarioConfig
+from repro.api.registry import hardware_preset_names, model_preset_names
+
+# The scenario fields exposed as flat flags on every scenario-taking
+# subcommand. ``n`` is deliberately excluded: commands that take it use
+# their own --n with command-specific defaults (planned vs fixed).
+SCENARIO_FLAGS = (
+    "model", "env", "batch_size", "prompt_len", "gen_len", "seed",
+    "skew", "correlation", "prefill_token_cap",
+)
+
+_HELP = {
+    "model": "model preset",
+    "env": "hardware environment preset",
+    "batch_size": "sequences per batch",
+    "prompt_len": "prompt tokens per sequence",
+    "gen_len": "generated tokens per sequence",
+    "seed": "routing RNG seed",
+    "skew": "Zipf skew of the expert-popularity model",
+    "correlation": "inter-layer routing correlation strength",
+    "prefill_token_cap": "cap on sampled prefill tokens per batch",
+}
+
+
+def add_scenario_flags(parser: argparse.ArgumentParser) -> None:
+    """Add one flag per exposed :class:`ScenarioConfig` field.
+
+    Args:
+        parser: the subcommand parser to extend.
+    """
+    fields = {f.name: f for f in dataclasses.fields(ScenarioConfig)}
+    for name in SCENARIO_FLAGS:
+        field = fields[name]
+        flag = "--" + name.replace("_", "-")
+        if name == "model":
+            parser.add_argument(
+                flag, default=field.default, choices=model_preset_names(),
+                help=_HELP[name],
+            )
+        elif name == "env":
+            parser.add_argument(
+                flag, default=field.default, choices=hardware_preset_names(),
+                help=_HELP[name],
+            )
+        else:
+            parser.add_argument(
+                flag, type=type(field.default), default=field.default,
+                help=_HELP[name],
+            )
+
+
+def add_set_flag(parser: argparse.ArgumentParser) -> None:
+    """Add the ``--set key=value`` escape hatch."""
+    parser.add_argument(
+        "--set",
+        dest="set_overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override any run-config field by dotted path "
+        "(e.g. --set scenario.skew=1.3 --set system.options.quantize=true); "
+        "values are parsed as JSON, bare words as strings",
+    )
+
+
+def scenario_dict_from_args(args, *, n: int = 1) -> dict:
+    """The ``scenario`` section dict implied by parsed flags.
+
+    Args:
+        args: the parsed argparse namespace.
+        n: batches per group (from the command's own --n handling).
+
+    Returns:
+        A plain dict ready for :meth:`ScenarioConfig.from_dict`.
+    """
+    section = {name: getattr(args, name) for name in SCENARIO_FLAGS}
+    section["n"] = n
+    return section
+
+
+def apply_overrides(tree: dict, overrides: list[str]) -> dict:
+    """Apply ``--set`` dotted-path overrides to a config dict, strictly.
+
+    Args:
+        tree: the run-config dict (mutated in place and returned).
+        overrides: raw ``key=value`` strings; values are parsed as JSON
+            with a bare-string fallback.
+
+    Returns:
+        The updated dict.
+
+    Raises:
+        ConfigValidationError: malformed entries or paths through
+            non-dict nodes, all collected into one report.
+    """
+    errors = Errors()
+    for raw in overrides:
+        key, sep, value = raw.partition("=")
+        if not sep or not key:
+            errors.add("--set", f"expected KEY=VALUE, got {raw!r}")
+            continue
+        try:
+            parsed = json.loads(value)
+        except json.JSONDecodeError:
+            parsed = value
+        node = tree
+        parts = key.split(".")
+        for i, part in enumerate(parts[:-1]):
+            child = node.setdefault(part, {})
+            if not isinstance(child, dict):
+                errors.add(
+                    "--set " + ".".join(parts[: i + 1]),
+                    f"cannot descend into non-dict value {child!r}",
+                )
+                break
+            node = child
+        else:
+            node[parts[-1]] = parsed
+    errors.raise_if_any("--set overrides")
+    return tree
+
+
+def run_config_from_args(
+    args, *, n: int = 1, system: str = "klotski", system_options: dict | None = None
+) -> RunConfig:
+    """Build the validated :class:`RunConfig` a subcommand describes.
+
+    Args:
+        args: the parsed argparse namespace (scenario flags, and
+            ``--set`` overrides when the command registered them).
+        n: batches per group.
+        system: default system registry name.
+        system_options: default system factory options.
+
+    Returns:
+        The validated run config, with ``--set`` overrides applied.
+    """
+    tree = {
+        "scenario": scenario_dict_from_args(args, n=n),
+        "system": {"name": system, "options": dict(system_options or {})},
+    }
+    apply_overrides(tree, getattr(args, "set_overrides", []))
+    return RunConfig.from_dict(tree)

@@ -1,0 +1,269 @@
+"""String-keyed plugin registries behind the declarative config surface.
+
+Every pluggable axis of the toolkit — inference systems, cluster routers,
+arrival processes, model and hardware presets — is a :class:`Registry`:
+a name-to-factory mapping with lazy *providers* (modules that register
+their entries on import, so registry lookups never create import cycles)
+and typo-suggesting error messages ("did you mean 'klotski'?").
+
+Extending the toolkit is one decorator::
+
+    from repro.api import register_system
+
+    @register_system("my-system")
+    def make_my_system(**options):
+        return MySystem(**options)
+
+after which ``my-system`` is a valid ``SystemConfig.name``, a valid CLI
+``--set system.name=my-system`` target, and a valid experiment-grid axis
+value — no other call-site changes. See ``docs/api.md`` for a worked
+example.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+from collections.abc import Callable, Iterator
+
+from repro.errors import ConfigError
+
+
+class RegistryError(ConfigError, ValueError):
+    """Raised for unknown registry names; carries a typo suggestion.
+
+    Also a :class:`ValueError`, so legacy call sites that documented
+    ``ValueError`` for unknown names keep their contract.
+    """
+
+
+def suggest(name: str, candidates) -> str | None:
+    """Closest candidate to ``name`` (None when nothing is close).
+
+    Args:
+        name: the unknown key the caller supplied.
+        candidates: the known keys to match against.
+
+    Returns:
+        The best close match, or None.
+    """
+    matches = difflib.get_close_matches(str(name), list(candidates), n=1, cutoff=0.5)
+    return matches[0] if matches else None
+
+
+def unknown_name_message(kind: str, name: str, candidates) -> str:
+    """Format the standard unknown-name error with a typo suggestion.
+
+    Args:
+        kind: what the registry holds (``system``, ``router``, ...).
+        name: the unknown key.
+        candidates: the known keys.
+
+    Returns:
+        A message like ``unknown system 'klotsky'; did you mean
+        'klotski'? (known: ...)``.
+    """
+    options = sorted(str(c) for c in candidates)
+    guess = suggest(name, options)
+    hint = f"did you mean {guess!r}? " if guess else ""
+    return f"unknown {kind} {name!r}; {hint}(known: {', '.join(options)})"
+
+
+class Registry:
+    """A string-keyed plugin registry with lazy providers.
+
+    Args:
+        kind: human-readable entry kind used in error messages.
+        providers: module paths imported (once, lazily) before the first
+            lookup; importing them runs their ``register`` calls. Lazy
+            loading is what lets domain modules import this module for
+            the decorators without creating a cycle.
+    """
+
+    def __init__(self, kind: str, providers: tuple[str, ...] = ()):
+        self.kind = kind
+        self._entries: dict[str, object] = {}
+        self._providers = tuple(providers)
+        self._loaded = False
+
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            return
+        for module in self._providers:
+            importlib.import_module(module)
+        # Only mark loaded once every provider imported: a provider that
+        # raises must raise again (not leave a half-populated registry
+        # reporting "unknown name" for entries it never got to).
+        self._loaded = True
+
+    def register(self, name: str, value: object | None = None):
+        """Register ``value`` under ``name`` (or use as a decorator).
+
+        Args:
+            name: the registry key (stable, user-facing).
+            value: the entry; omit to use the call as a decorator.
+
+        Returns:
+            ``value`` (or the decorator).
+
+        Raises:
+            ConfigError: when ``name`` is already taken by a different
+                entry (re-registering the same object is a no-op, so
+                module reloads stay safe).
+        """
+        if value is None:
+            def decorate(fn):
+                self.register(name, fn)
+                return fn
+
+            return decorate
+        existing = self._entries.get(name)
+        if existing is not None and existing is not value:
+            raise ConfigError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = value
+        return value
+
+    def get(self, name: str):
+        """Look up an entry, with a typo-suggesting error on miss.
+
+        Args:
+            name: the registry key.
+
+        Returns:
+            The registered entry.
+
+        Raises:
+            RegistryError: for an unknown name.
+        """
+        self._ensure_loaded()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(
+                unknown_name_message(self.kind, name, self._entries)
+            ) from None
+
+    def names(self) -> list[str]:
+        """All registered names, sorted."""
+        self._ensure_loaded()
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, object]]:
+        """All (name, entry) pairs, sorted by name."""
+        self._ensure_loaded()
+        return sorted(self._entries.items())
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_loaded()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
+# The five registries. Providers are the modules whose import registers
+# the built-in entries; anything else can add entries at import time via
+# the decorators below.
+
+SYSTEMS = Registry(
+    "system",
+    providers=(
+        "repro.core.engine",
+        "repro.baselines.systems",
+        "repro.baselines.sida",
+    ),
+)
+
+ROUTERS = Registry("router", providers=("repro.cluster.routers",))
+
+ARRIVALS = Registry("arrival process", providers=("repro.serving.requests",))
+
+MODEL_PRESETS = Registry("model preset", providers=("repro.model.config",))
+
+HARDWARE_PRESETS = Registry("hardware preset", providers=("repro.hardware.spec",))
+
+
+def register_system(name: str) -> Callable:
+    """Decorator: register a ``factory(**options) -> InferenceSystem``.
+
+    Args:
+        name: the registry key configs and CLI flags resolve.
+
+    Returns:
+        The decorator (registers the factory and returns it unchanged).
+    """
+    return SYSTEMS.register(name)
+
+
+def register_router(name: str) -> Callable:
+    """Decorator: register a ``factory(**options) -> Router``.
+
+    Args:
+        name: the registry key configs and CLI flags resolve.
+
+    Returns:
+        The decorator (registers the factory and returns it unchanged).
+    """
+    return ROUTERS.register(name)
+
+
+def register_arrivals(name: str) -> Callable:
+    """Decorator: register a ``factory(count, **params) -> list[Request]``.
+
+    Args:
+        name: the registry key serve configs resolve.
+
+    Returns:
+        The decorator (registers the factory and returns it unchanged).
+    """
+    return ARRIVALS.register(name)
+
+
+def register_model_preset(config) -> None:
+    """Register a :class:`~repro.model.config.ModelConfig` preset.
+
+    Args:
+        config: the preset; registered under ``config.name``.
+    """
+    MODEL_PRESETS.register(config.name, config)
+
+
+def register_hardware_preset(name: str, spec) -> None:
+    """Register a :class:`~repro.hardware.spec.HardwareSpec` preset.
+
+    Args:
+        name: the preset key (``env1`` style — specs carry their own
+            longer ``name`` field, so the key is explicit).
+        spec: the hardware spec.
+    """
+    HARDWARE_PRESETS.register(name, spec)
+
+
+def system_names() -> list[str]:
+    """Registered inference-system names."""
+    return SYSTEMS.names()
+
+
+def router_names() -> list[str]:
+    """Registered cluster-router names."""
+    return ROUTERS.names()
+
+
+def arrival_names() -> list[str]:
+    """Registered arrival-process names."""
+    return ARRIVALS.names()
+
+
+def model_preset_names() -> list[str]:
+    """Registered model-preset names."""
+    return MODEL_PRESETS.names()
+
+
+def hardware_preset_names() -> list[str]:
+    """Registered hardware-preset names."""
+    return HARDWARE_PRESETS.names()

@@ -130,3 +130,12 @@ class SiDASystem(InferenceSystem):
 
         warm_up_prefetcher(scenario, prefetcher, steps=2)
         return prefetcher
+
+
+def _register_system() -> None:
+    from repro.api.registry import register_system
+
+    register_system(SiDASystem.name)(SiDASystem)
+
+
+_register_system()

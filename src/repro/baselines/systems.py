@@ -169,3 +169,15 @@ ALL_BASELINES = (
     MoEInfinitySystem,
     FiddlerSystem,
 )
+
+
+def _register_systems() -> None:
+    # Every baseline resolves by its paper name through the repro.api
+    # system registry; constructor kwargs become config options.
+    from repro.api.registry import register_system
+
+    for cls in (*ALL_BASELINES, MixtralOffloadingSystem):
+        register_system(cls.name)(cls)
+
+
+_register_systems()

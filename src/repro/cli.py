@@ -11,22 +11,26 @@ Subcommands mirror how the paper's system is operated:
 * ``serve``      — simulate a multi-replica cluster serving a request
   stream behind a pluggable router (``repro.cluster``)
 * ``experiments`` — declarative experiment orchestration
-  (``repro.experiments``): ``list`` the registered paper figures/tables,
-  ``run`` their cell grids in parallel against the content-addressed
-  artifact cache, and ``report`` them into ``docs/results.md``
-* ``bench``      — perf smoke: time one reduced cell per experiment (plus
-  the full-scale Figure 10 reference cell) and write ``BENCH.json``, so
-  CI tracks the simulator's performance trajectory
+  (``repro.experiments``)
+* ``bench``      — perf smoke: time one reduced cell per experiment into
+  ``BENCH.json``, so CI tracks the simulator's performance trajectory
 * ``validate``   — correctness harness (``repro.validation``): fuzz
-  randomized-but-seeded scenarios through the legacy and compiled
-  executor engines, diff them op-for-op, and check every invariant
-  (causality, resource exclusivity, memory conservation, cluster
-  request conservation); a dedicated CI job runs ``validate --fuzz 100
-  --engine both``
+  randomized-but-seeded configs through the legacy and compiled executor
+  engines; every failure payload carries the replayable config blob
 
-``run``, ``compare``, ``serve``, ``experiments list``, and
-``experiments run`` accept ``--json`` to emit machine-readable results
-instead of text.
+The flags are a *view over the declarative config schema*
+(:mod:`repro.api`): scenario flags are derived from
+:class:`~repro.api.ScenarioConfig` fields, presets and systems resolve
+through the ``repro.api`` registries, and ``--set key=value`` reaches any
+field of the :class:`~repro.api.RunConfig` tree the flat flags do not
+cover (dotted paths, JSON values).
+
+JSON output is uniform: every subcommand's ``--json`` emits one envelope
+``{"command": <name>, "schema_version": 1, "result": <payload>}``.
+Simulated OOM is a *result*, not an error: ``run`` and ``compare`` both
+exit 0 when the simulation completes, reporting OOM in the payload (the
+paper's §9.2 observation that expert-only offloaders cannot run large
+batches is data, not a crash).
 
 Installed as ``klotski-repro`` (see ``pyproject.toml``).
 """
@@ -41,53 +45,74 @@ import sys
 from repro.analysis.bubbles import analyze_bubbles
 from repro.analysis.plots import bar_chart
 from repro.analysis.reporting import ResultGrid
-from repro.baselines import ALL_BASELINES
-from repro.cluster import ClusterConfig, ClusterSimulator, build_cluster, make_router
-from repro.cluster.routers import ROUTERS
-from repro.core.engine import KlotskiEngine, KlotskiOptions, KlotskiSystem
-from repro.hardware.calibrate import TimingCache, measure
-from repro.hardware.spec import ENVIRONMENTS
-from repro.model.config import MODELS
-from repro.routing.workload import Workload
-from repro.runtime.traceexport import save_chrome_trace
-from repro.scenario import Scenario
-from repro.serving import (
-    ArrivalConfig,
-    BatchingConfig,
-    BurstyConfig,
-    assign_hot_experts,
-    generate_bursty,
-    generate_requests,
-    replay_trace,
+from repro.api import (
+    SCHEMA_VERSION,
+    RunConfig,
+    add_scenario_flags,
+    add_set_flag,
+    apply_overrides,
+    build_scenario,
+    build_system,
+    router_names,
+    run_cluster,
+    scenario_dict_from_args,
+    system_names,
 )
+from repro.api.registry import RegistryError
+from repro.core.engine import KlotskiEngine, KlotskiSystem
+from repro.errors import ConfigValidationError, OutOfMemoryError
+from repro.hardware.calibrate import TimingCache, measure
+from repro.runtime.traceexport import save_chrome_trace
 
 
-def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--model", default="mixtral-8x7b", choices=sorted(MODELS),
-        help="model preset",
+def emit_json(command: str, result) -> None:
+    """Print the uniform JSON envelope every subcommand shares."""
+    print(
+        json.dumps(
+            {"command": command, "schema_version": SCHEMA_VERSION, "result": result},
+            indent=2,
+        )
     )
-    parser.add_argument(
-        "--env", default="env1", choices=sorted(ENVIRONMENTS),
-        help="hardware environment preset",
-    )
-    parser.add_argument("--batch-size", type=int, default=16)
-    parser.add_argument("--prompt-len", type=int, default=512)
-    parser.add_argument("--gen-len", type=int, default=8)
-    parser.add_argument("--seed", type=int, default=0)
 
 
-def _scenario(args, num_batches: int = 1) -> Scenario:
-    workload = Workload(args.batch_size, num_batches, args.prompt_len, args.gen_len)
-    return Scenario(
-        MODELS[args.model], ENVIRONMENTS[args.env], workload, seed=args.seed
-    )
+def _run_config(
+    args, *, n: int = 1, system: str = "klotski", options: dict | None = None
+) -> RunConfig:
+    """The validated RunConfig a scenario-taking subcommand describes.
+
+    ``--set`` is applied last and wins over flags. Single-machine
+    commands reject cluster/serve sections instead of silently ignoring
+    an override that would have no effect.
+    """
+    from repro.api import run_config_from_args
+
+    config = run_config_from_args(args, n=n, system=system, system_options=options)
+    ignored = [s for s in ("cluster", "serve") if getattr(config, s) is not None]
+    if ignored:
+        raise ConfigValidationError(
+            f"{args.command} config",
+            [
+                f"{section}: not applicable to '{args.command}' "
+                "(only 'serve' runs a cluster)"
+                for section in ignored
+            ],
+        )
+    return config
+
+
+def _scenario(args, num_batches: int = 1):
+    """Build the runtime scenario for commands without system choices."""
+    return build_scenario(_run_config(args, n=num_batches).scenario)
 
 
 def cmd_plan(args) -> int:
-    engine = KlotskiEngine(_scenario(args))
+    scenario = _scenario(args)
+    engine = KlotskiEngine(scenario)
     plan = engine.plan()
-    print(f"model={args.model} env={args.env} batch_size={args.batch_size}")
+    print(
+        f"model={scenario.model.name} env={scenario.hardware.name} "
+        f"batch_size={scenario.workload.batch_size}"
+    )
     print(f"planned n = {plan.n} (feasible={plan.feasible})")
     print(f"binding constraint: {plan.binding_constraint}")
     for name, margin in plan.margins.items():
@@ -98,7 +123,8 @@ def cmd_plan(args) -> int:
 
 
 def cmd_calibrate(args) -> int:
-    model, hw = MODELS[args.model], ENVIRONMENTS[args.env]
+    scenario = _scenario(args)
+    model, hw = scenario.model, scenario.hardware
     if args.cache:
         timings = TimingCache(args.cache).get_or_measure(
             model, hw, batch_size=args.batch_size, prompt_len=args.prompt_len
@@ -118,23 +144,52 @@ def cmd_calibrate(args) -> int:
 
 
 def cmd_run(args) -> int:
-    scenario = _scenario(args)
-    options = KlotskiOptions(quantize=args.quantize)
-    engine = KlotskiEngine(scenario, options)
-    result = engine.run(n=args.n)
+    config = _run_config(
+        args, n=args.n or 1, system="klotski",
+        options={"quantize": True} if args.quantize else {},
+    )
+    scenario = build_scenario(config.scenario)
+    # --set scenario.n wins over --n (it is applied last); with neither
+    # given, scenario.n stays at the tree default of 1 and Klotski runs
+    # at the planner's n.
+    explicit_n = config.scenario.n if (
+        args.n is not None or config.scenario.n != 1
+    ) else None
+    system = build_system(config.system)
+    if isinstance(system, KlotskiSystem):
+        # Any registered factory yielding a KlotskiSystem gets the
+        # planner path — the engine replans n when none was pinned.
+        engine = KlotskiEngine(scenario, system.options)
+        try:
+            result = engine.run(n=explicit_n)
+        except OutOfMemoryError as exc:
+            result = _oom_result(engine.system.name, exc)
+    else:
+        # No planner for non-Klotski systems: run at the pinned (or
+        # default) group size.
+        workload = scenario.workload.with_batches(explicit_n or 1)
+        result = system.run_safe(scenario.with_workload(workload))
+    if result.oom:
+        payload = {"oom": True, "oom_reason": result.oom_reason}
+        if args.json:
+            emit_json("run", payload)
+        else:
+            print(f"OOM: {result.oom_reason}")
+        return 0
     bubbles = analyze_bubbles(result.timeline)
+    payload = dataclasses.asdict(result.metrics)
+    payload["oom"] = False
+    payload["throughput"] = result.metrics.throughput
+    payload["gpu_utilization"] = result.metrics.gpu_utilization
+    payload["bubble_fraction"] = bubbles.bubble_fraction
+    if result.prefetcher is not None:
+        stats = result.prefetcher.stats
+        payload["prefetch_hot_accuracy"] = float(stats.hot_accuracy().mean())
+        payload["prefetch_participation"] = float(
+            stats.participation_rate().mean()
+        )
     if args.json:
-        payload = dataclasses.asdict(result.metrics)
-        payload["throughput"] = result.metrics.throughput
-        payload["gpu_utilization"] = result.metrics.gpu_utilization
-        payload["bubble_fraction"] = bubbles.bubble_fraction
-        if result.prefetcher is not None:
-            stats = result.prefetcher.stats
-            payload["prefetch_hot_accuracy"] = float(stats.hot_accuracy().mean())
-            payload["prefetch_participation"] = float(
-                stats.participation_rate().mean()
-            )
-        print(json.dumps(payload, indent=2))
+        emit_json("run", payload)
         return 0
     print(result.metrics.summary())
     print(bubbles.summary())
@@ -147,28 +202,68 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _oom_result(system: str, exc: OutOfMemoryError):
+    from repro.systems import SystemResult
+
+    return SystemResult(system=system, metrics=None, oom=True, oom_reason=str(exc))
+
+
 def cmd_compare(args) -> int:
-    scenario = _scenario(args, num_batches=args.n or 6)
-    systems = [
-        KlotskiSystem(),
-        KlotskiSystem(KlotskiOptions(quantize=True)),
-        *[cls() for cls in ALL_BASELINES],
-    ]
+    from repro.api import SystemConfig
+
+    config = _run_config(args, n=args.n or 6)
+    scenario = build_scenario(config.scenario)
+    # The configured system leads the comparison; the klotski(q) variant
+    # rides along only when the system section was left at its default
+    # (so --set system.name/options picks exactly what you asked for).
+    configs = [config.system]
+    if config.system == SystemConfig():
+        configs.append(SystemConfig("klotski(q)"))
+    configs.extend(
+        SystemConfig(name.strip())
+        for name in args.systems.split(",")
+        if name.strip()
+    )
+    # Build every system up front: one aggregated unknown-name report
+    # before any simulation time is spent.
+    errors = []
+    systems = []
+    for system_config in configs:
+        try:
+            systems.append(build_system(system_config))
+        except ConfigValidationError as exc:
+            errors.extend(exc.errors)
+        except RegistryError as exc:
+            errors.append(str(exc))
+    if errors:
+        raise ConfigValidationError("compare --systems", errors)
     rows = []
     for system in systems:
         result = system.run_safe(scenario)
         rows.append(
             {
-                "system": system.name,
+                "system": result.system,
                 "oom": result.oom,
                 "oom_reason": result.oom_reason,
                 "throughput_tok_s": result.throughput,
             }
         )
     if args.json:
-        print(json.dumps({"model": args.model, "env": args.env,
-                          "batch_size": args.batch_size, "systems": rows},
-                         indent=2))
+        # Report the scenario that actually ran (--set overrides
+        # included), not the raw flag values: preset names when the
+        # config used them, resolved spec names for inline dicts.
+        sc = config.scenario
+        emit_json(
+            "compare",
+            {
+                "model": sc.model if isinstance(sc.model, str)
+                else scenario.model.name,
+                "env": sc.env if isinstance(sc.env, str)
+                else scenario.hardware.name,
+                "batch_size": sc.batch_size,
+                "systems": rows,
+            },
+        )
         return 0
     throughputs = {}
     for row in rows:
@@ -183,69 +278,32 @@ def cmd_compare(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    model = MODELS[args.model]
-    if args.replicas < 1:
-        raise SystemExit("--replicas must be >= 1")
-    env_names = args.envs.split(",") if args.envs else [args.env]
-    for name in env_names:
-        if name not in ENVIRONMENTS:
-            raise SystemExit(f"unknown environment {name!r}")
-    environments = [
-        ENVIRONMENTS[env_names[i % len(env_names)]] for i in range(args.replicas)
-    ]
-    batching = BatchingConfig(
-        batch_size=args.batch_size,
-        group_batches=args.group_batches,
-        max_wait_s=args.max_wait,
-    )
-    if args.trace:
-        try:
-            requests = replay_trace(args.trace)
-        except FileNotFoundError:
-            raise SystemExit(f"trace file not found: {args.trace}") from None
-    elif args.arrival == "bursty":
-        # Calm/burst rates chosen so the *mean* rate equals --rate: with
-        # equal time in each state, 0.5/base + 0.5/burst = 1/rate.
-        requests = generate_bursty(
-            BurstyConfig(
-                base_rate_per_s=args.rate * 0.625,
-                burst_rate_per_s=args.rate * 2.5,
-                prompt_len_mean=args.prompt_len,
-                gen_len=args.gen_len,
-                seed=args.seed,
-            ),
-            args.requests,
-        )
-    else:
-        requests = generate_requests(
-            ArrivalConfig(
-                rate_per_s=args.rate,
-                prompt_len_mean=args.prompt_len,
-                gen_len=args.gen_len,
-                seed=args.seed,
-            ),
-            args.requests,
-        )
-    if all(r.hot_expert is None for r in requests):
-        requests = assign_hot_experts(
-            requests, model.num_experts, skew=1.1, seed=args.seed
-        )
-    replicas = build_cluster(
-        model,
-        environments,
-        batching,
-        prompt_len=args.prompt_len,
-        gen_len=args.gen_len,
-        seed=args.seed,
-    )
-    simulator = ClusterSimulator(
-        replicas,
-        make_router(args.router),
-        ClusterConfig(slo_s=args.slo),
-    )
-    report = simulator.run(requests)
+    tree = {
+        "scenario": scenario_dict_from_args(args, n=1),
+        "system": {"name": "klotski", "options": {}},
+        "cluster": {
+            "replicas": args.replicas,
+            "envs": args.envs.split(",") if args.envs else [],
+            "router": args.router,
+            "group_batches": args.group_batches,
+            "max_wait_s": args.max_wait,
+            "slo_s": args.slo,
+        },
+        "serve": {
+            "arrival": "trace" if args.trace else args.arrival,
+            "arrival_options": {"path": args.trace} if args.trace else {},
+            "requests": args.requests,
+            "rate_per_s": args.rate,
+        },
+    }
+    apply_overrides(tree, args.set_overrides)
+    config = RunConfig.from_dict(tree)
+    try:
+        report = run_cluster(config)
+    except FileNotFoundError:
+        raise SystemExit(f"trace file not found: {args.trace}") from None
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
+        emit_json("serve", report.to_dict())
     else:
         print(report.summary())
     return 0
@@ -282,7 +340,7 @@ def cmd_experiments_list(args) -> int:
             }
         )
     if args.json:
-        print(json.dumps({"experiments": rows, "full": args.full}, indent=2))
+        emit_json("experiments list", {"experiments": rows, "full": args.full})
         return 0
     for row in rows:
         print(
@@ -325,16 +383,14 @@ def cmd_experiments_run(args) -> int:
                 f"({run.stats.hit_rate:.0%} hit rate)"
             )
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "experiments": rows,
-                    "full": args.full,
-                    "jobs": args.jobs,
-                    "cache_dir": str(runner.store.root),
-                },
-                indent=2,
-            )
+        emit_json(
+            "experiments run",
+            {
+                "experiments": rows,
+                "full": args.full,
+                "jobs": args.jobs,
+                "cache_dir": str(runner.store.root),
+            },
         )
     return 0
 
@@ -444,14 +500,14 @@ def cmd_bench(args) -> int:
             raise SystemExit(f"baseline file not found: {args.baseline}") from None
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     if args.json:
-        print(json.dumps(payload, indent=2))
+        emit_json("bench", payload)
     else:
         print(f"wrote {args.out} (suite {suite_wall:.2f} s)")
     return 0
 
 
 def cmd_validate(args) -> int:
-    """Fuzz scenarios through the validation harness; exit 1 on failure."""
+    """Fuzz configs through the validation harness; exit 1 on failure."""
     from repro.validation import FuzzConfig, run_fuzz
 
     config = FuzzConfig(
@@ -462,7 +518,7 @@ def cmd_validate(args) -> int:
     )
     report = run_fuzz(config)
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
+        emit_json("validate", report.to_dict())
     else:
         print(report.summary())
         if report.ok:
@@ -471,12 +527,15 @@ def cmd_validate(args) -> int:
 
 
 def cmd_sweep_n(args) -> int:
+    first = _scenario(args, num_batches=args.n_min)
     grid = ResultGrid(
-        f"Throughput vs n — {args.model} on {args.env} (bs={args.batch_size})", "n"
+        f"Throughput vs n — {first.model.name} on {first.hardware.name} "
+        f"(bs={first.workload.batch_size})",
+        "n",
     )
     for n in range(args.n_min, args.n_max + 1, args.n_step):
-        scenario = _scenario(args, num_batches=n)
-        result = KlotskiSystem().run(scenario)
+        scenario = first.with_workload(first.workload.with_batches(n))
+        result = build_system("klotski").run(scenario)
         grid.add("klotski", n, result.metrics.throughput)
     print(grid.render())
     return 0
@@ -484,7 +543,7 @@ def cmd_sweep_n(args) -> int:
 
 def cmd_export_trace(args) -> int:
     scenario = _scenario(args, num_batches=args.n or 4)
-    result = KlotskiSystem().run(scenario)
+    result = build_system("klotski").run(scenario)
     save_chrome_trace(result.timeline, args.out)
     print(
         f"wrote {args.out}: {len(result.timeline.executed)} events, "
@@ -501,35 +560,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("plan", help="solve for the bubble-free batch-group size n")
-    _add_scenario_args(p)
+    def scenario_parser(name: str, help: str):
+        p = sub.add_parser(name, help=help)
+        add_scenario_flags(p)
+        add_set_flag(p)
+        return p
+
+    p = scenario_parser("plan", "solve for the bubble-free batch-group size n")
     p.set_defaults(func=cmd_plan)
 
-    p = sub.add_parser("calibrate", help="measure per-layer timings")
-    _add_scenario_args(p)
+    p = scenario_parser("calibrate", "measure per-layer timings")
     p.add_argument("--cache", help="JSON timing-cache path")
     p.set_defaults(func=cmd_calibrate)
 
-    p = sub.add_parser("run", help="run Klotski and print metrics")
-    _add_scenario_args(p)
+    p = scenario_parser("run", "run Klotski and print metrics")
     p.add_argument("--n", type=int, default=None, help="batch-group size (default: planned)")
     p.add_argument("--quantize", action="store_true")
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser("compare", help="compare against the baselines")
-    _add_scenario_args(p)
+    p = scenario_parser("compare", "compare against the baselines")
     p.add_argument("--n", type=int, default=None)
+    p.add_argument(
+        "--systems",
+        default="accelerate,fastgen,flexgen,moe-infinity,fiddler",
+        help="comma-separated registered system names compared after the "
+        f"Klotski variants (registered: {', '.join(system_names())})",
+    )
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_compare)
 
-    p = sub.add_parser(
-        "serve", help="simulate a multi-replica serving cluster"
-    )
-    _add_scenario_args(p)
+    p = scenario_parser("serve", "simulate a multi-replica serving cluster")
     p.add_argument("--replicas", type=int, default=4, help="fleet size")
     p.add_argument(
-        "--router", default="least-outstanding", choices=sorted(ROUTERS),
+        "--router", default="least-outstanding", choices=router_names(),
         help="request routing policy",
     )
     p.add_argument(
@@ -630,7 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "validate",
-        help="fuzz scenarios through invariant checks and cross-engine diffs",
+        help="fuzz configs through invariant checks and cross-engine diffs",
     )
     p.add_argument(
         "--fuzz", type=int, default=25, metavar="N",
@@ -649,15 +713,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_validate)
 
-    p = sub.add_parser("sweep-n", help="throughput vs batch-group size")
-    _add_scenario_args(p)
+    p = scenario_parser("sweep-n", "throughput vs batch-group size")
     p.add_argument("--n-min", type=int, default=3)
     p.add_argument("--n-max", type=int, default=12)
     p.add_argument("--n-step", type=int, default=3)
     p.set_defaults(func=cmd_sweep_n)
 
-    p = sub.add_parser("export-trace", help="export a run as Chrome tracing JSON")
-    _add_scenario_args(p)
+    p = scenario_parser("export-trace", "export a run as Chrome tracing JSON")
     p.add_argument("--n", type=int, default=None)
     p.add_argument("--out", default="klotski_trace.json")
     p.set_defaults(func=cmd_export_trace)
@@ -667,7 +729,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ConfigValidationError, RegistryError) as exc:
+        # One aggregated, typo-suggesting report; exit like other usage
+        # errors instead of dumping a traceback.
+        raise SystemExit(str(exc)) from None
 
 
 if __name__ == "__main__":

@@ -21,7 +21,6 @@ from repro.cluster.report import (
     RequestRecord,
 )
 from repro.cluster.routers import (
-    ROUTERS,
     ExpertAffinityRouter,
     LeastOutstandingRouter,
     RoundRobinRouter,
@@ -29,6 +28,16 @@ from repro.cluster.routers import (
     make_router,
 )
 from repro.cluster.simulator import ClusterConfig, ClusterSimulator, build_cluster
+
+
+def __getattr__(name: str):
+    if name == "ROUTERS":
+        # Deprecated: forwards to repro.cluster.routers.__getattr__, which
+        # emits the ReproDeprecationWarning and returns a registry view.
+        from repro.cluster import routers
+
+        return routers.ROUTERS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ARRIVAL",
@@ -43,7 +52,6 @@ __all__ = [
     "ClusterReport",
     "ReplicaStats",
     "RequestRecord",
-    "ROUTERS",
     "ExpertAffinityRouter",
     "LeastOutstandingRouter",
     "RoundRobinRouter",

@@ -17,7 +17,12 @@ are exactly reproducible for a fixed seed:
 
 from __future__ import annotations
 
+import warnings
+
+from repro.api.registry import ROUTERS as _ROUTER_REGISTRY
+from repro.api.registry import register_router
 from repro.cluster.replica import Replica
+from repro.errors import ReproDeprecationWarning
 from repro.serving.requests import Request
 
 
@@ -32,6 +37,7 @@ class Router:
         raise NotImplementedError
 
 
+@register_router("round-robin")
 class RoundRobinRouter(Router):
     """Rotate through replicas irrespective of load or content."""
 
@@ -48,6 +54,7 @@ class RoundRobinRouter(Router):
         return replica
 
 
+@register_router("least-outstanding")
 class LeastOutstandingRouter(Router):
     """Join the replica with the fewest queued + in-flight requests."""
 
@@ -59,6 +66,7 @@ class LeastOutstandingRouter(Router):
         return min(replicas, key=lambda r: (r.outstanding(), r.replica_id))
 
 
+@register_router("expert-affinity")
 class ExpertAffinityRouter(Router):
     """Prefer replicas whose VRAM already holds the request's hot expert.
 
@@ -94,29 +102,33 @@ class ExpertAffinityRouter(Router):
         return best
 
 
-ROUTERS: dict[str, type[Router]] = {
-    RoundRobinRouter.name: RoundRobinRouter,
-    LeastOutstandingRouter.name: LeastOutstandingRouter,
-    ExpertAffinityRouter.name: ExpertAffinityRouter,
-}
-
-
-def make_router(name: str) -> Router:
+def make_router(name: str, **options) -> Router:
     """Instantiate a router policy by registry name.
 
     Args:
-        name: a :data:`ROUTERS` key (``round-robin``,
+        name: a :data:`repro.api.registry.ROUTERS` name (``round-robin``,
             ``least-outstanding``, or ``expert-affinity``).
+        **options: factory keyword arguments (e.g. ``slack`` for the
+            expert-affinity router).
 
     Returns:
         A fresh :class:`Router` instance.
 
     Raises:
-        ValueError: for an unknown name.
+        ValueError: for an unknown name (with a typo suggestion).
     """
-    try:
-        return ROUTERS[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown router {name!r}; choose from {sorted(ROUTERS)}"
-        ) from None
+    return _ROUTER_REGISTRY.get(name)(**options)
+
+
+def __getattr__(name: str):
+    if name == "ROUTERS":
+        # Deprecated dict view of the repro.api router registry; kept so
+        # `from repro.cluster.routers import ROUTERS` keeps working.
+        warnings.warn(
+            "repro.cluster.routers.ROUTERS is deprecated; use "
+            "repro.api.ROUTERS (or repro.api.router_names()) instead",
+            ReproDeprecationWarning,
+            stacklevel=2,
+        )
+        return dict(_ROUTER_REGISTRY.items())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

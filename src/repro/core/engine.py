@@ -13,6 +13,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.api.registry import register_system
 from repro.compression.sparse_attention import SparseAttentionConfig
 from repro.systems import InferenceSystem, SystemResult
 from repro.core.pipeline import PipelineFeatures, QUANT_BYTES_FACTOR
@@ -153,6 +154,25 @@ class KlotskiSystem(InferenceSystem):
         if self.options.warmup_steps > 0:
             warm_up_prefetcher(scenario, prefetcher, steps=self.options.warmup_steps)
         return prefetcher
+
+
+@register_system("klotski")
+def _make_klotski(**options) -> KlotskiSystem:
+    """Registry factory: full Klotski with :class:`KlotskiOptions` kwargs."""
+    return KlotskiSystem(KlotskiOptions(**options))
+
+
+@register_system("klotski(q)")
+def _make_klotski_quantized(**options) -> KlotskiSystem:
+    """Registry factory: the quantized Klotski(q) variant."""
+    options.setdefault("quantize", True)
+    return KlotskiSystem(KlotskiOptions(**options), name="klotski(q)")
+
+
+_make_klotski.__config_options__ = tuple(
+    f.name for f in KlotskiOptions.__dataclass_fields__.values()
+)
+_make_klotski_quantized.__config_options__ = _make_klotski.__config_options__
 
 
 class KlotskiEngine:

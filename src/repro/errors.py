@@ -9,6 +9,32 @@ class ConfigError(ReproError):
     """Raised when a model, hardware, or engine configuration is invalid."""
 
 
+class ConfigValidationError(ConfigError):
+    """One aggregated report of every problem found in a config tree.
+
+    ``repro.api`` validates declarative configs breadth-first and raises a
+    single instance carrying *all* errors (``errors`` attribute, one
+    ``path: message`` string each) instead of failing on the first, so a
+    user fixing a config sees the whole damage report at once.
+    """
+
+    def __init__(self, what: str, errors: list[str]):
+        self.errors = list(errors)
+        lines = "\n".join(f"  - {e}" for e in self.errors)
+        super().__init__(
+            f"invalid {what} ({len(self.errors)} error"
+            f"{'s' if len(self.errors) != 1 else ''}):\n{lines}"
+        )
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """Deprecation warnings issued by this package's own legacy shims.
+
+    A distinct subclass so the test suite can promote *our* deprecations
+    to errors (``pytest.ini``) without tripping over third-party ones.
+    """
+
+
 class OutOfMemoryError(ReproError):
     """Raised when a memory pool cannot satisfy an allocation request.
 

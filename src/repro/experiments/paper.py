@@ -25,7 +25,7 @@ import numpy as np
 from repro.analysis.bubbles import analyze_bubbles
 from repro.analysis.plots import bar_chart, render_timeline
 from repro.analysis.reporting import ResultGrid
-from repro.baselines import ALL_BASELINES
+from repro.api import build_scenario, build_system, scenario_from_cell_params
 from repro.core.engine import KlotskiOptions, KlotskiSystem, warm_up_prefetcher
 from repro.core.pipeline import PipelineFeatures
 from repro.core.prefetcher import ExpertPrefetcher
@@ -168,37 +168,36 @@ def _scenario_overrides_with_n(full: bool) -> tuple:
 
 
 def make_system(name: str):
-    """Instantiate a comparison system by its paper name.
+    """Deprecated: instantiate a comparison system by its paper name.
+
+    Superseded by the ``repro.api`` system registry
+    (:func:`repro.api.build_system`), which every cell function now uses.
 
     Args:
-        name: one of :data:`E2E_SYSTEMS`.
+        name: a registered system name.
 
     Returns:
         A fresh :class:`~repro.systems.InferenceSystem`.
 
     Raises:
-        KeyError: for an unknown system name.
+        ValueError: for an unknown system name.
     """
-    if name == "klotski":
-        return KlotskiSystem()
-    if name == "klotski(q)":
-        return KlotskiSystem(KlotskiOptions(quantize=True))
-    for cls in ALL_BASELINES:
-        if cls.name == name:
-            return cls()
-    raise KeyError(f"unknown system {name!r}")
+    import warnings
+
+    from repro.errors import ReproDeprecationWarning
+
+    warnings.warn(
+        "repro.experiments.paper.make_system is deprecated; use "
+        "repro.api.build_system (the registry-backed factory) instead",
+        ReproDeprecationWarning,
+        stacklevel=2,
+    )
+    return build_system(name)
 
 
 def _cell_scenario(params: dict) -> Scenario:
-    workload = Workload(
-        params["batch_size"], params["n"], params["prompt_len"], params["gen_len"]
-    )
-    return Scenario(
-        MODELS[params["model"]],
-        ENVIRONMENTS[params["env"]],
-        workload,
-        seed=params["seed"],
-    )
+    """Materialize a cell's scenario through the declarative config."""
+    return build_scenario(scenario_from_cell_params(params))
 
 
 # ---------------------------------------------------------------------------
@@ -216,7 +215,7 @@ def run_e2e_cell(params: dict) -> dict:
         throughput (tok/s), latency, GPU utilization, and OOM status.
     """
     scenario = _cell_scenario(params)
-    result = make_system(params["system"]).run_safe(scenario)
+    result = build_system(params["system"]).run_safe(scenario)
     if result.oom:
         return {
             "oom": True,

@@ -9,41 +9,35 @@ per-axis overrides (e.g. "on scenario 8x22b-env1, use n = 10").
 ``(cell function, parameters)`` which doubles as the artifact-store key,
 so identical cells shared by two experiments (Figure 10 and Figure 11 use
 the same end-to-end grid) are computed exactly once.
+
+Expansion is a view over :mod:`repro.api`: scenario-shaped cells are
+validated through :class:`~repro.api.ScenarioConfig` (registry-backed
+presets and systems, aggregated error reports) and proven to round-trip
+bit-identically through the flat dialect, so content addresses — and
+with them every cached artifact — are stable by construction. The
+hashing convention itself (``canonical_json``/``stable_hash``, re-
+exported here) lives in :mod:`repro.api.canonical`.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
+
+from repro.api.canonical import canonical_json, stable_hash
+from repro.api.cells import normalize_cell_params
+
+__all__ = [
+    "CACHE_VERSION",
+    "Cell",
+    "ExperimentSpec",
+    "canonical_json",
+    "stable_hash",
+    "cell_key",
+]
 
 # Bump to invalidate every cached artifact after a semantic change to the
 # simulation that does not show up in cell parameters.
 CACHE_VERSION = 1
-
-
-def canonical_json(value) -> str:
-    """Serialize ``value`` as deterministic (sorted-key, compact) JSON.
-
-    Args:
-        value: any JSON-serializable object.
-
-    Returns:
-        The canonical JSON string used for hashing.
-    """
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
-
-
-def stable_hash(value) -> str:
-    """SHA-256 hex digest of ``value``'s canonical JSON.
-
-    Args:
-        value: any JSON-serializable object.
-
-    Returns:
-        A 64-character lowercase hex digest.
-    """
-    return hashlib.sha256(canonical_json(value).encode()).hexdigest()
 
 
 def cell_key(runner: str, params: dict) -> str:
@@ -138,6 +132,7 @@ class ExperimentSpec:
             for match, extra in self.overrides:
                 if all(assignment.get(k) == v for k, v in match.items()):
                     params.update(extra)
+            params = normalize_cell_params(self.runner, params)
             cells.append(
                 Cell(
                     spec_name=self.name,

@@ -160,3 +160,15 @@ ENV2 = HardwareSpec(
 )
 
 ENVIRONMENTS = {"env1": ENV1, "env2": ENV2}
+
+
+def _register_presets() -> None:
+    # The presets double as repro.api registry entries, so declarative
+    # configs resolve them by name ({"env": "env1"}).
+    from repro.api.registry import register_hardware_preset
+
+    for key, spec in ENVIRONMENTS.items():
+        register_hardware_preset(key, spec)
+
+
+_register_presets()

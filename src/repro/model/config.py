@@ -221,3 +221,15 @@ MODELS = {
         OPT_6_7B,
     )
 }
+
+
+def _register_presets() -> None:
+    # The presets double as repro.api registry entries, so declarative
+    # configs resolve them by name ({"model": "mixtral-8x7b"}).
+    from repro.api.registry import register_model_preset
+
+    for cfg in MODELS.values():
+        register_model_preset(cfg)
+
+
+_register_presets()

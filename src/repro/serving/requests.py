@@ -28,6 +28,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_arrivals
 from repro.routing.popularity import zipf_weights
 
 
@@ -182,6 +183,30 @@ def replay_trace(
         )
         for i, (arrival, prompt, gen, hot) in enumerate(parsed)
     ]
+
+
+@register_arrivals("poisson")
+def _poisson_arrivals(count: int, **params) -> list[Request]:
+    """Registry factory: Poisson arrivals (:class:`ArrivalConfig` kwargs)."""
+    return generate_requests(ArrivalConfig(**params), count)
+
+
+@register_arrivals("bursty")
+def _bursty_arrivals(count: int, **params) -> list[Request]:
+    """Registry factory: two-state MMPP (:class:`BurstyConfig` kwargs)."""
+    return generate_bursty(BurstyConfig(**params), count)
+
+
+@register_arrivals("trace")
+def _trace_arrivals(count: int, *, path=None, records=None, **_ignored) -> list[Request]:
+    """Registry factory: trace replay from a ``path`` or inline ``records``.
+
+    ``count`` and scenario-derived length parameters are ignored — the
+    trace is authoritative.
+    """
+    if path is None and records is None:
+        raise ValueError("trace arrivals need a 'path' or inline 'records'")
+    return replay_trace(path if path is not None else records)
 
 
 def assign_hot_experts(

@@ -1,9 +1,13 @@
-"""Scenario fuzzing: randomized-but-seeded end-to-end validation cases.
+"""Config fuzzing: randomized-but-seeded end-to-end validation cases.
 
-Every case is a deterministic function of ``(base seed, case index)``,
-and every failure line carries both — re-running ``repro.cli validate``
-with the same ``--seed`` (and a ``--fuzz`` count past the failing
-index) replays a CI failure locally. Two case families:
+Every case is a deterministic function of ``(base seed, case index)``
+that samples a declarative :class:`~repro.api.RunConfig` — *not* raw
+constructors — and materializes it through :mod:`repro.api`. That makes
+every failure a **replayable JSON blob**: the report's ``failures``
+entries (surfaced verbatim by ``repro.cli validate --json``) carry the
+offending config's ``to_dict()`` form, so a CI failure reproduces with
+``RunConfig.from_dict(blob)`` plus the recorded engine/capacity knobs.
+Two case families:
 
 * **pipeline cases** — a random small model / hardware / workload /
   system point; the system's schedule is built once and executed under
@@ -14,11 +18,12 @@ index) replays a CI failure locally. Two case families:
   multiplier of the observed peak, forcing both engines to agree on
   whether — and exactly how — the run dies;
 * **cluster cases** — a random fleet (heterogeneous hardware, random
-  router, adversarial hot-expert skews) serving a random arrival process
-  (Poisson, bursty MMPP, or trace replay). The report is checked against
-  the cluster conservation/causality/accounting invariants, and the
-  whole simulation is re-run from scratch to prove determinism under a
-  fixed seed.
+  registry router, adversarial hot-expert skews) serving a random
+  arrival process (Poisson, bursty MMPP, or trace replay), all encoded
+  in the config's ``cluster``/``serve`` sections. The report is checked
+  against the cluster conservation/causality/accounting invariants, and
+  the whole simulation is re-run from scratch to prove determinism
+  under a fixed seed.
 
 The generated models/machines are deliberately tiny (a case runs in tens
 of milliseconds) but structurally adversarial: dense and MoE models,
@@ -34,25 +39,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.baselines import ALL_BASELINES
-from repro.cluster import ClusterConfig, ClusterSimulator, build_cluster, make_router
-from repro.cluster.routers import ROUTERS
-from repro.core.engine import KlotskiOptions, KlotskiSystem
+from repro.api import (
+    ClusterConfig,
+    RunConfig,
+    ScenarioConfig,
+    ServeConfig,
+    SystemConfig,
+    build_requests,
+    build_scenario,
+    build_system,
+    router_names,
+    run_cluster,
+)
 from repro.errors import OutOfMemoryError, ReproError
 from repro.hardware.spec import GB, GiB, ComputeSpec, HardwareSpec, LinkSpec
 from repro.model.config import ModelConfig
-from repro.routing.workload import Workload
 from repro.runtime.executor import Executor, ExecutorConfig
-from repro.scenario import Scenario
-from repro.serving.requests import (
-    ArrivalConfig,
-    BurstyConfig,
-    assign_hot_experts,
-    generate_bursty,
-    generate_requests,
-    replay_trace,
-)
-from repro.serving.server import BatchingConfig
 from repro.validation.differential import run_differential
 from repro.validation.invariants import check_cluster, check_timeline
 
@@ -98,6 +100,9 @@ class FuzzReport:
             infeasibility etc.) — skipped, not failures.
         violations: invariant violations, prefixed with the case tag.
         diffs: cross-engine disagreements, prefixed with the case tag.
+        failures: one dict per failing case, carrying the replayable
+            config blob (``config`` is ``RunConfig.to_dict()`` form)
+            plus that case's violation/diff lines and runtime knobs.
     """
 
     seed: int = 0
@@ -108,17 +113,51 @@ class FuzzReport:
     build_failures: int = 0
     violations: list[str] = field(default_factory=list)
     diffs: list[str] = field(default_factory=list)
+    failures: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         """True when no case violated an invariant or diverged."""
         return not self.violations and not self.diffs
 
+    def record(
+        self,
+        tag: str,
+        config: RunConfig,
+        *,
+        violations: list[str] = (),
+        diffs: list[str] = (),
+        **knobs,
+    ) -> None:
+        """Fold one case outcome in; failures capture the config blob.
+
+        Args:
+            tag: replay coordinates (case index, base seed, system).
+            config: the sampled run config.
+            violations: invariant violations (empty: none).
+            diffs: cross-engine disagreements (empty: none).
+            **knobs: runtime context outside the config (engine mode,
+                near-OOM capacity override...).
+        """
+        self.violations.extend(f"{tag}: {v}" for v in violations)
+        self.diffs.extend(f"{tag}: {d}" for d in diffs)
+        if violations or diffs:
+            self.failures.append(
+                {
+                    "tag": tag,
+                    "config": config.to_dict(),
+                    "violations": list(violations),
+                    "diffs": list(diffs),
+                    **knobs,
+                }
+            )
+
     def to_dict(self) -> dict:
         """JSON-compatible summary of the campaign.
 
         Returns:
-            All counters plus the (possibly empty) failure lists.
+            All counters plus the (possibly empty) failure lists; each
+            ``failures`` entry embeds the replayable config blob.
         """
         return {
             "seed": self.seed,
@@ -129,6 +168,7 @@ class FuzzReport:
             "build_failures": self.build_failures,
             "violations": self.violations,
             "diffs": self.diffs,
+            "failures": self.failures,
             "ok": self.ok,
         }
 
@@ -147,135 +187,136 @@ class FuzzReport:
         ]
         lines.extend(f"  VIOLATION {v}" for v in self.violations[:20])
         lines.extend(f"  DIFF {d}" for d in self.diffs[:20])
+        if self.failures:
+            lines.append(
+                "replayable config blobs for every failure are in the "
+                "JSON report (validate --json, 'failures')"
+            )
         return "\n".join(lines)
 
 
 # ---- random evaluation points ------------------------------------------------
 
 
-def random_model(rng: np.random.Generator) -> ModelConfig:
-    """Sample a tiny-but-structurally-diverse model config.
+def random_model(rng: np.random.Generator) -> dict:
+    """Sample a tiny-but-structurally-diverse inline model spec.
 
     Args:
         rng: the case's seeded generator.
 
     Returns:
-        A valid :class:`ModelConfig` (dense or MoE, grouped-query or
-        full attention, SwiGLU or classic FFN).
+        A valid :class:`~repro.model.config.ModelConfig` field dict
+        (dense or MoE, grouped-query or full attention, SwiGLU or
+        classic FFN) — the ``scenario.model`` form of a config blob.
     """
     num_heads = int(rng.choice([2, 4, 8]))
     head_dim = int(rng.choice([8, 16]))
     divisors = [d for d in (1, 2, 4, 8) if num_heads % d == 0]
     num_experts = int(rng.choice([1, 2, 4, 8]))
-    return ModelConfig(
-        name=f"fuzz-moe-{num_experts}e",
-        hidden_size=num_heads * head_dim,
-        intermediate_size=int(rng.choice([2, 3, 4])) * num_heads * head_dim,
-        num_layers=int(rng.integers(2, 7)),
-        num_heads=num_heads,
-        num_kv_heads=int(rng.choice(divisors)),
-        num_experts=num_experts,
-        top_k=int(rng.integers(1, num_experts + 1)),
-        vocab_size=int(rng.choice([128, 256, 512])),
-        ffn_matrices=2 if num_experts == 1 and rng.random() < 0.5 else 3,
+    return dataclasses.asdict(
+        ModelConfig(
+            name=f"fuzz-moe-{num_experts}e",
+            hidden_size=num_heads * head_dim,
+            intermediate_size=int(rng.choice([2, 3, 4])) * num_heads * head_dim,
+            num_layers=int(rng.integers(2, 7)),
+            num_heads=num_heads,
+            num_kv_heads=int(rng.choice(divisors)),
+            num_experts=num_experts,
+            top_k=int(rng.integers(1, num_experts + 1)),
+            vocab_size=int(rng.choice([128, 256, 512])),
+            ffn_matrices=2 if num_experts == 1 and rng.random() < 0.5 else 3,
+        )
     )
 
 
-def random_hardware(rng: np.random.Generator, model: ModelConfig) -> HardwareSpec:
-    """Sample a machine whose VRAM straddles the model's working set.
+def random_hardware(rng: np.random.Generator, model: dict) -> dict:
+    """Sample an inline machine spec straddling the model's working set.
 
     Args:
         rng: the case's seeded generator.
-        model: the model the machine will serve (sizes the memory).
+        model: the inline model spec the machine will serve.
 
     Returns:
-        A :class:`HardwareSpec` with VRAM between ~15% and ~300% of the
-        model's total bytes, so placements range from fully resident to
-        heavily offloaded (and occasionally infeasible).
+        A :class:`~repro.hardware.spec.HardwareSpec` field dict with
+        VRAM between ~15% and ~300% of the model's total bytes, so
+        placements range from fully resident to heavily offloaded (and
+        occasionally infeasible).
     """
-    total = max(model.total_bytes(), 1 << 20)
+    total = max(ModelConfig(**model).total_bytes(), 1 << 20)
     vram = int(total * rng.uniform(0.15, 3.0))
-    return HardwareSpec(
-        name=f"fuzz-env-{int(vram / (1 << 20))}mb",
-        gpu=ComputeSpec(
-            "fuzz-gpu",
-            float(rng.uniform(1e12, 20e12)),
-            float(rng.uniform(50, 900)) * GB,
-            kernel_overhead_s=float(rng.uniform(5e-6, 120e-6)),
-        ),
-        cpu=ComputeSpec(
-            "fuzz-cpu",
-            float(rng.uniform(0.05e12, 0.5e12)),
-            float(rng.uniform(5, 50)) * GB,
-            kernel_overhead_s=5e-6,
-        ),
-        vram_bytes=max(vram, 64 << 20),
-        dram_bytes=int(rng.uniform(8, 64)) * GiB,
-        disk_bytes=200 * GB,
-        pcie_h2d=LinkSpec("h2d", float(rng.uniform(1, 30)) * GB),
-        pcie_d2h=LinkSpec("d2h", float(rng.uniform(1, 30)) * GB),
-        disk_link=LinkSpec(
-            "disk", float(rng.uniform(0.2, 2.0)) * GB, latency_s=80e-6
-        ),
+    return dataclasses.asdict(
+        HardwareSpec(
+            name=f"fuzz-env-{int(vram / (1 << 20))}mb",
+            gpu=ComputeSpec(
+                "fuzz-gpu",
+                float(rng.uniform(1e12, 20e12)),
+                float(rng.uniform(50, 900)) * GB,
+                kernel_overhead_s=float(rng.uniform(5e-6, 120e-6)),
+            ),
+            cpu=ComputeSpec(
+                "fuzz-cpu",
+                float(rng.uniform(0.05e12, 0.5e12)),
+                float(rng.uniform(5, 50)) * GB,
+                kernel_overhead_s=5e-6,
+            ),
+            vram_bytes=max(vram, 64 << 20),
+            dram_bytes=int(rng.uniform(8, 64)) * GiB,
+            disk_bytes=200 * GB,
+            pcie_h2d=LinkSpec("h2d", float(rng.uniform(1, 30)) * GB),
+            pcie_d2h=LinkSpec("d2h", float(rng.uniform(1, 30)) * GB),
+            disk_link=LinkSpec(
+                "disk", float(rng.uniform(0.2, 2.0)) * GB, latency_s=80e-6
+            ),
+        )
     )
 
 
-def random_workload(rng: np.random.Generator) -> Workload:
-    """Sample a batch-group workload shape.
+def random_system_config(rng: np.random.Generator) -> SystemConfig:
+    """Sample a system config (Klotski variants plus the baselines).
 
     Args:
         rng: the case's seeded generator.
 
     Returns:
-        A :class:`Workload` with 1-8 sequences per batch, 1-4 batches,
-        short prompts, and 1-5 generated tokens.
+        A registry-resolvable :class:`~repro.api.SystemConfig`.
     """
-    return Workload(
-        batch_size=int(rng.integers(1, 9)),
-        num_batches=int(rng.integers(1, 5)),
-        prompt_len=int(rng.integers(8, 65)),
-        gen_len=int(rng.integers(1, 6)),
+    choices = (
+        SystemConfig("klotski"),
+        SystemConfig("klotski", {"quantize": True}),
+        SystemConfig("klotski", {"use_spare_vram": False}),
+        SystemConfig("accelerate"),
+        SystemConfig("fastgen"),
+        SystemConfig("flexgen"),
+        SystemConfig("moe-infinity"),
+        SystemConfig("fiddler"),
     )
+    return choices[int(rng.integers(0, len(choices)))]
 
 
-def random_system(rng: np.random.Generator):
-    """Sample an inference system (Klotski variants plus all baselines).
-
-    Args:
-        rng: the case's seeded generator.
-
-    Returns:
-        A fresh :class:`~repro.systems.InferenceSystem` instance.
-    """
-    factories = [
-        lambda: KlotskiSystem(),
-        lambda: KlotskiSystem(KlotskiOptions(quantize=True)),
-        lambda: KlotskiSystem(KlotskiOptions(use_spare_vram=False)),
-        *[cls for cls in ALL_BASELINES],
-    ]
-    return factories[int(rng.integers(0, len(factories)))]()
-
-
-def random_scenario(rng: np.random.Generator) -> Scenario:
-    """Sample a full pipeline evaluation point.
+def random_run_config(rng: np.random.Generator) -> RunConfig:
+    """Sample a full pipeline evaluation point as a config blob.
 
     Args:
         rng: the case's seeded generator.
 
     Returns:
-        A :class:`Scenario` over a random model, machine, workload, and
-        routing statistics (skew, correlation, seed).
+        A :class:`~repro.api.RunConfig` over a random inline model and
+        machine, workload shape, routing statistics, and system.
     """
     model = random_model(rng)
-    return Scenario(
-        model,
-        random_hardware(rng, model),
-        random_workload(rng),
+    scenario = ScenarioConfig(
+        model=model,
+        env=random_hardware(rng, model),
+        batch_size=int(rng.integers(1, 9)),
+        n=int(rng.integers(1, 5)),
+        prompt_len=int(rng.integers(8, 65)),
+        gen_len=int(rng.integers(1, 6)),
+        seed=int(rng.integers(0, 2**31)),
         skew=float(rng.uniform(0.8, 1.8)),
         correlation=float(rng.uniform(0.0, 0.9)),
-        seed=int(rng.integers(0, 2**31)),
         prefill_token_cap=int(rng.choice([64, 256, 2048])),
     )
+    return RunConfig(scenario=scenario, system=random_system_config(rng))
 
 
 # ---- case execution ----------------------------------------------------------
@@ -294,8 +335,9 @@ def run_pipeline_case(
             runner passes ``--seed``/case-index information here).
     """
     rng = np.random.default_rng(case_seed)
-    scenario = random_scenario(rng)
-    system = random_system(rng)
+    config = random_run_config(rng)
+    scenario = build_scenario(config.scenario)
+    system = build_system(config.system)
     tag = f"pipeline {label or f'case-seed={case_seed}'} system={system.name}"
     report.pipeline_cases += 1
     try:
@@ -314,10 +356,10 @@ def run_pipeline_case(
         result = run_differential(
             schedule, scenario.hardware, capacities=capacities
         )
-        report.diffs.extend(f"{tag}: {d}" for d in result.diffs)
+        report.record(tag, config, diffs=result.diffs, engine=engine)
         if result.oom:
             report.ooms += 1
-            _near_oom_probe(schedule, scenario, rng, tag, report, peak=None)
+            _near_oom_probe(schedule, scenario, config, rng, tag, report, peak=None)
             return
         timeline = result.timeline
         if timeline is None:
@@ -331,15 +373,15 @@ def run_pipeline_case(
             return
 
     violations = check_timeline(schedule, timeline, capacities=capacities)
-    report.violations.extend(f"{tag}: {v}" for v in violations)
+    report.record(tag, config, violations=violations, engine=engine)
     if engine == "both":
         _near_oom_probe(
-            schedule, scenario, rng, tag, report,
+            schedule, scenario, config, rng, tag, report,
             peak=timeline.memory_peak.get("vram", 0),
         )
 
 
-def _near_oom_probe(schedule, scenario, rng, tag, report, *, peak) -> None:
+def _near_oom_probe(schedule, scenario, config, rng, tag, report, *, peak) -> None:
     """Re-run with a VRAM budget pinned near the observed peak.
 
     Both engines must agree on the outcome right at the memory cliff —
@@ -360,50 +402,57 @@ def _near_oom_probe(schedule, scenario, rng, tag, report, *, peak) -> None:
     result = run_differential(
         schedule, scenario.hardware, capacities={"vram": capacity}
     )
-    report.diffs.extend(f"{tag} [near-oom cap={capacity}]: {d}" for d in result.diffs)
+    probe_tag = f"{tag} [near-oom cap={capacity}]"
+    report.record(probe_tag, config, diffs=result.diffs, near_oom_cap=capacity)
     if result.oom:
         report.ooms += 1
     elif result.timeline is not None:
         violations = check_timeline(
             schedule, result.timeline, capacities={"vram": capacity}
         )
-        report.violations.extend(
-            f"{tag} [near-oom cap={capacity}]: {v}" for v in violations
+        report.record(
+            probe_tag, config, violations=violations, near_oom_cap=capacity
         )
 
 
-def _random_requests(rng: np.random.Generator, model: ModelConfig) -> list:
-    """Sample a request stream (Poisson / bursty / trace replay) with
-    optionally adversarial hot-expert skew."""
+def random_serve_config(rng: np.random.Generator, model: dict) -> ServeConfig:
+    """Sample a request-stream config (arrival process + tagging policy).
+
+    Args:
+        rng: the case's seeded generator.
+        model: the inline model spec (bounds the pinned-expert draw).
+
+    Returns:
+        A :class:`~repro.api.ServeConfig`: Poisson, bursty MMPP, or an
+        inline trace, tagged with Zipf-skewed, adversarially pinned, or
+        absent hot experts.
+    """
     count = int(rng.integers(6, 33))
     kind = rng.random()
     seed = int(rng.integers(0, 2**31))
     if kind < 0.4:
-        requests = generate_requests(
-            ArrivalConfig(
-                rate_per_s=float(rng.uniform(0.2, 8.0)),
-                prompt_len_mean=int(rng.integers(16, 129)),
-                gen_len=int(rng.integers(1, 6)),
-                seed=seed,
-            ),
-            count,
-        )
+        arrival = "poisson"
+        options = {
+            "rate_per_s": float(rng.uniform(0.2, 8.0)),
+            "prompt_len_mean": int(rng.integers(16, 129)),
+            "gen_len": int(rng.integers(1, 6)),
+            "seed": seed,
+        }
     elif kind < 0.7:
-        requests = generate_bursty(
-            BurstyConfig(
-                base_rate_per_s=float(rng.uniform(0.1, 1.0)),
-                burst_rate_per_s=float(rng.uniform(2.0, 20.0)),
-                switch_prob=float(rng.uniform(0.05, 0.5)),
-                prompt_len_mean=int(rng.integers(16, 129)),
-                gen_len=int(rng.integers(1, 6)),
-                seed=seed,
-            ),
-            count,
-        )
+        arrival = "bursty"
+        options = {
+            "base_rate_per_s": float(rng.uniform(0.1, 1.0)),
+            "burst_rate_per_s": float(rng.uniform(2.0, 20.0)),
+            "switch_prob": float(rng.uniform(0.05, 0.5)),
+            "prompt_len_mean": int(rng.integers(16, 129)),
+            "gen_len": int(rng.integers(1, 6)),
+            "seed": seed,
+        }
     else:
+        arrival = "trace"
         arrivals = np.cumsum(rng.uniform(0.0, 2.0, size=count))
-        requests = replay_trace(
-            [
+        options = {
+            "records": [
                 {
                     "arrival_s": float(arrivals[i]),
                     "prompt_len": int(rng.integers(8, 129)),
@@ -411,17 +460,57 @@ def _random_requests(rng: np.random.Generator, model: ModelConfig) -> list:
                 }
                 for i in range(count)
             ]
-        )
+        }
     style = rng.random()
+    num_experts = int(model["num_experts"])
     if style < 0.4:  # Zipf-tagged, possibly extreme skew
-        requests = assign_hot_experts(
-            requests, model.num_experts, skew=float(rng.uniform(1.0, 2.5)),
-            seed=seed,
-        )
-    elif style < 0.6 and model.num_experts > 1:  # adversarial: one hot expert
-        hot = int(rng.integers(0, model.num_experts))
-        requests = [dataclasses.replace(r, hot_expert=hot) for r in requests]
-    return requests
+        hot = {"mode": "zipf", "skew": float(rng.uniform(1.0, 2.5)), "seed": seed}
+    elif style < 0.6 and num_experts > 1:  # adversarial: one hot expert
+        hot = {"mode": "pin", "expert": int(rng.integers(0, num_experts))}
+    else:
+        hot = {"mode": "none"}
+    return ServeConfig(
+        arrival=arrival, arrival_options=options, requests=count, hot_experts=hot
+    )
+
+
+def random_cluster_run_config(
+    rng: np.random.Generator, case_seed: int
+) -> RunConfig:
+    """Sample a full cluster evaluation point as a config blob.
+
+    Args:
+        rng: the case's seeded generator.
+        case_seed: the case's seed (pins the fleet's scenario seed).
+
+    Returns:
+        A :class:`~repro.api.RunConfig` with ``cluster`` and ``serve``
+        sections: a heterogeneous fleet behind a random registry router
+        serving a random arrival process.
+    """
+    model = random_model(rng)
+    n_replicas = int(rng.integers(1, 5))
+    envs = tuple(random_hardware(rng, model) for _ in range(n_replicas))
+    scenario = ScenarioConfig(
+        model=model,
+        env=envs[0],
+        batch_size=int(rng.integers(1, 5)),
+        n=1,
+        prompt_len=64,
+        gen_len=4,
+        seed=int(case_seed % 1009),
+    )
+    cluster = ClusterConfig(
+        replicas=n_replicas,
+        envs=envs,
+        router=str(rng.choice(router_names())),
+        group_batches=int(rng.integers(1, 4)),
+        max_wait_s=float(rng.uniform(0.5, 30.0)),
+        slo_s=float(rng.uniform(5.0, 300.0)),
+        partition_experts=bool(rng.random() < 0.8),
+    )
+    serve = random_serve_config(rng, model)
+    return RunConfig(scenario=scenario, cluster=cluster, serve=serve)
 
 
 def run_cluster_case(case_seed: int, report: FuzzReport, label: str = "") -> None:
@@ -433,39 +522,21 @@ def run_cluster_case(case_seed: int, report: FuzzReport, label: str = "") -> Non
         label: replay coordinates prefixed to failure tags.
     """
     rng = np.random.default_rng(case_seed)
-    model = random_model(rng)
-    n_replicas = int(rng.integers(1, 5))
-    environments = [random_hardware(rng, model) for _ in range(n_replicas)]
-    batching = BatchingConfig(
-        batch_size=int(rng.integers(1, 5)),
-        group_batches=int(rng.integers(1, 4)),
-        max_wait_s=float(rng.uniform(0.5, 30.0)),
+    config = random_cluster_run_config(rng, case_seed)
+    tag = (
+        f"cluster {label or f'case-seed={case_seed}'} "
+        f"router={config.cluster.router}"
     )
-    router_name = str(rng.choice(sorted(ROUTERS)))
-    config = ClusterConfig(
-        slo_s=float(rng.uniform(5.0, 300.0)),
-        partition_experts=bool(rng.random() < 0.8),
-    )
-    requests = _random_requests(rng, model)
-    tag = f"cluster {label or f'case-seed={case_seed}'} router={router_name}"
     report.cluster_cases += 1
+    requests = build_requests(config)
 
     def simulate():
         # Each run gets its own group-timing cache: if the second run
         # reused the process-wide memo the first run populated, the
         # determinism check below could never catch nondeterministic
-        # group timings.
-        replicas = build_cluster(
-            model,
-            environments,
-            batching,
-            prompt_len=64,
-            gen_len=4,
-            seed=int(case_seed % 1009),
-            shared_cache={},
-        )
-        simulator = ClusterSimulator(replicas, make_router(router_name), config)
-        return simulator.run(requests)
+        # group timings. The request stream is built once above and
+        # shared — generation is seed-deterministic anyway.
+        return run_cluster(config, shared_cache={}, requests=requests)
 
     try:
         first = simulate()
@@ -475,10 +546,9 @@ def run_cluster_case(case_seed: int, report: FuzzReport, label: str = "") -> Non
         report.build_failures += 1
         return
     except ReproError as exc:
-        report.violations.append(f"{tag}: simulation raised {exc!r}")
+        report.record(tag, config, violations=[f"simulation raised {exc!r}"])
         return
-    violations = check_cluster(first, requests)
-    report.violations.extend(f"{tag}: {v}" for v in violations)
+    report.record(tag, config, violations=check_cluster(first, requests))
 
     # Determinism: a from-scratch rebuild (with its own empty timing
     # cache, so every group is genuinely re-simulated) must reproduce the
@@ -487,7 +557,7 @@ def run_cluster_case(case_seed: int, report: FuzzReport, label: str = "") -> Non
     if json.dumps(first.to_dict(), sort_keys=True) != json.dumps(
         second.to_dict(), sort_keys=True
     ):
-        report.diffs.append(f"{tag}: re-run produced a different report")
+        report.record(tag, config, diffs=["re-run produced a different report"])
 
 
 def run_fuzz(config: FuzzConfig) -> FuzzReport:
@@ -498,7 +568,8 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
 
     Returns:
         The aggregated :class:`FuzzReport`; ``report.ok`` is the
-        pass/fail signal.
+        pass/fail signal, and every failure entry embeds its replayable
+        config blob.
     """
     report = FuzzReport(seed=config.seed)
     for i in range(config.cases):

@@ -17,9 +17,9 @@ from types import SimpleNamespace
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api import router_names
 from repro.cluster import ClusterConfig, ClusterSimulator, build_cluster
 from repro.cluster.routers import (
-    ROUTERS,
     LeastOutstandingRouter,
     RoundRobinRouter,
     make_router,
@@ -104,7 +104,7 @@ def simulate(router_name: str, spec, shape, partition: bool = True):
     return simulator.run(requests), requests
 
 
-@given(spec=request_stream, shape=fleet_shape, router=st.sampled_from(sorted(ROUTERS)))
+@given(spec=request_stream, shape=fleet_shape, router=st.sampled_from(router_names()))
 @settings(max_examples=120, deadline=None)
 def test_every_router_conserves_requests(spec, shape, router):
     report, requests = simulate(router, spec, shape)
@@ -114,7 +114,7 @@ def test_every_router_conserves_requests(spec, shape, router):
     assert served == [r.request_id for r in requests]
 
 
-@given(spec=request_stream, shape=fleet_shape, router=st.sampled_from(sorted(ROUTERS)))
+@given(spec=request_stream, shape=fleet_shape, router=st.sampled_from(router_names()))
 @settings(max_examples=60, deadline=None)
 def test_fixed_seed_is_deterministic(spec, shape, router):
     first, _ = simulate(router, spec, shape)

@@ -19,6 +19,14 @@ def run_cli(capsys, *argv) -> tuple[int, str]:
     return code, capsys.readouterr().out
 
 
+def unwrap(out: str, command: str) -> dict:
+    """Parse the uniform JSON envelope and return its result payload."""
+    envelope = json.loads(out)
+    assert envelope["command"] == command
+    assert envelope["schema_version"] == 1
+    return envelope["result"]
+
+
 class TestExperimentsList:
     def test_lists_all_registered(self, capsys, cache_dir):
         code, out = run_cli(capsys, "experiments", "list", "--cache", cache_dir)
@@ -31,7 +39,7 @@ class TestExperimentsList:
             capsys, "experiments", "list", "--json", "--cache", cache_dir
         )
         assert code == 0
-        payload = json.loads(out)
+        payload = unwrap(out, "experiments list")
         rows = {row["name"]: row for row in payload["experiments"]}
         assert rows["fig10"]["cells"] == 63
         assert rows["fig10"]["cached"] == 0
@@ -46,7 +54,7 @@ class TestExperimentsRun:
             "--json", "--cache", cache_dir,
         )
         assert code == 0
-        payload = json.loads(out)
+        payload = unwrap(out, "experiments run")
         by_name = {row["name"]: row for row in payload["experiments"]}
         assert by_name["table2"]["computed"] == 2
         assert by_name["fig5"]["cells"] == 4
@@ -58,7 +66,7 @@ class TestExperimentsRun:
             "experiments", "run", "table2", "fig5",
             "--json", "--cache", cache_dir,
         )
-        payload = json.loads(out)
+        payload = unwrap(out, "experiments run")
         assert all(
             row["hit_rate"] == 1.0 and row["computed"] == 0
             for row in payload["experiments"]

@@ -95,7 +95,11 @@ class TestCLICoverage:
             "run", "--batch-size", "4", "--gen-len", "2", "--n", "2", "--json",
         ])
         assert code == 0
-        payload = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["command"] == "run"
+        assert envelope["schema_version"] == 1
+        payload = envelope["result"]
+        assert payload["oom"] is False
         assert payload["throughput"] > 0
         assert "bubble_fraction" in payload
 
@@ -107,9 +111,54 @@ class TestCLICoverage:
             "--json",
         ])
         assert code == 0
-        payload = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["command"] == "compare"
+        payload = envelope["result"]
         names = {row["system"] for row in payload["systems"]}
         assert "klotski" in names
+
+    def test_run_and_compare_agree_on_oom(self, capsys):
+        """Simulated OOM is a result: both commands exit 0 with an oom
+        payload (the paper's §9.2 observation is data, not a crash)."""
+        import json
+
+        code = main([
+            "run", "--model", "mixtral-8x22b", "--batch-size", "64",
+            "--n", "2", "--gen-len", "2",
+            "--set", "system.name=moe-infinity", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)["result"]
+        assert payload["oom"] is True and payload["oom_reason"]
+
+        code = main([
+            "compare", "--model", "mixtral-8x22b", "--batch-size", "64",
+            "--n", "2", "--gen-len", "2", "--systems", "moe-infinity",
+            "--json",
+        ])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)["result"]["systems"]
+        by_name = {row["system"]: row for row in rows}
+        assert by_name["moe-infinity"]["oom"] is True
+
+    def test_set_overrides_reach_the_config_tree(self, capsys):
+        import json
+
+        code = main([
+            "run", "--batch-size", "4", "--gen-len", "2", "--n", "2",
+            "--set", "scenario.skew=1.4",
+            "--set", "system.name=flexgen", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)["result"]
+        assert payload["system"] == "flexgen"
+
+    def test_typo_in_set_override_exits_with_suggestion(self):
+        with pytest.raises(SystemExit, match="did you mean 'skew'"):
+            main([
+                "run", "--batch-size", "4", "--n", "2",
+                "--set", "scenario.skwe=1.4",
+            ])
 
     def test_serve_command(self, capsys):
         code = main([
@@ -130,7 +179,9 @@ class TestCLICoverage:
             "--group-batches", "1", "--max-wait", "10", "--json",
         ])
         assert code == 0
-        payload = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["command"] == "serve"
+        payload = envelope["result"]
         assert payload["num_replicas"] == 2
         assert payload["num_requests"] == 8
         assert payload["throughput_tok_s"] > 0

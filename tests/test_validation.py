@@ -294,9 +294,30 @@ class TestValidateCLI:
 
     def test_validate_json(self, capsys):
         assert main(["validate", "--fuzz", "4", "--seed", "3", "--json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["command"] == "validate"
+        assert envelope["schema_version"] == 1
+        payload = envelope["result"]
         assert payload["ok"] is True
         assert payload["cases"] == 4
+        assert payload["failures"] == []
+
+    def test_failure_payload_carries_replayable_config(self):
+        """Every recorded failure embeds a from_dict-able config blob."""
+        from repro.api import RunConfig
+
+        report = FuzzReport(seed=7)
+        config = RunConfig()
+        report.record(
+            "pipeline case 0", config, violations=["boom"], engine="both"
+        )
+        assert not report.ok
+        blob = report.to_dict()["failures"][0]
+        assert blob["violations"] == ["boom"]
+        assert blob["engine"] == "both"
+        assert RunConfig.from_dict(blob["config"]) == config
+        # The blob survives a JSON round trip (it is what --json prints).
+        assert json.loads(json.dumps(blob))["config"] == config.to_dict()
 
     def test_validate_single_engine(self, capsys):
         assert main(["validate", "--fuzz", "4", "--engine", "legacy"]) == 0
