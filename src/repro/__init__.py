@@ -42,7 +42,7 @@ from repro.experiments import ArtifactStore, ExperimentSpec, Runner
 from repro.routing.workload import Workload, paper_workload
 from repro.scenario import Scenario
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "KlotskiEngine",

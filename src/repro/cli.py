@@ -13,7 +13,11 @@ Subcommands mirror how the paper's system is operated:
 * ``experiments`` — declarative experiment orchestration
   (``repro.experiments``)
 * ``bench``      — perf smoke: time one reduced cell per experiment into
-  ``BENCH.json``, so CI tracks the simulator's performance trajectory
+  ``BENCH.json`` (best-of-N, milliseconds), so CI tracks the simulator's
+  performance trajectory; ``--compare BASELINE.json`` turns it into a
+  regression gate
+* ``profile``    — run one traced pipeline and print the span tree and
+  top-k table of the simulator's *own* wall time (``repro.obs``)
 * ``validate``   — correctness harness (``repro.validation``): fuzz
   randomized-but-seeded configs through the legacy and compiled executor
   engines; every failure payload carries the replayable config blob
@@ -25,8 +29,16 @@ through the ``repro.api`` registries, and ``--set key=value`` reaches any
 field of the :class:`~repro.api.RunConfig` tree the flat flags do not
 cover (dotted paths, JSON values).
 
+``run``, ``serve``, and ``experiments run`` accept ``--trace PATH``:
+one Chrome-trace file interleaving the simulator's own spans with the
+simulated timeline lanes (see :mod:`repro.obs.export`). ``serve``'s
+arrival-replay file moved to ``--arrival-trace``.
+
 JSON output is uniform: every subcommand's ``--json`` emits one envelope
-``{"command": <name>, "schema_version": 1, "result": <payload>}``.
+``{"command": <name>, "schema_version": 1, "result": <payload>,
+"manifest": <run provenance>}``; the manifest carries the config hash,
+seed, package version, wall time, and cache/memo counters
+(:mod:`repro.obs.manifest`).
 Simulated OOM is a *result*, not an error: ``run`` and ``compare`` both
 exit 0 when the simulation completes, reporting OOM in the payload (the
 paper's §9.2 observation that expert-only offloaders cannot run large
@@ -41,7 +53,9 @@ import argparse
 import dataclasses
 import json
 import sys
+import time
 
+from repro import obs
 from repro.analysis.bubbles import analyze_bubbles
 from repro.analysis.plots import bar_chart
 from repro.analysis.reporting import ResultGrid
@@ -62,17 +76,54 @@ from repro.api.registry import RegistryError
 from repro.core.engine import KlotskiEngine, KlotskiSystem
 from repro.errors import ConfigValidationError, OutOfMemoryError
 from repro.hardware.calibrate import TimingCache, measure
+from repro.obs import build_manifest
+from repro.obs.export import save_trace
 from repro.runtime.traceexport import save_chrome_trace
 
+# perf_counter() at entry to main(); the manifest's wall_s baseline.
+_CLI_T0: float | None = None
 
-def emit_json(command: str, result) -> None:
-    """Print the uniform JSON envelope every subcommand shares."""
+
+def emit_json(command: str, result, *, config=None, seed=None) -> None:
+    """Print the uniform JSON envelope every subcommand shares.
+
+    Every envelope carries a ``manifest`` block (see
+    :mod:`repro.obs.manifest`): config hash, seed, package version, wall
+    time, and the process counter/gauge snapshot at emission.
+    """
+    manifest = build_manifest(command, config=config, seed=seed, started=_CLI_T0)
     print(
         json.dumps(
-            {"command": command, "schema_version": SCHEMA_VERSION, "result": result},
+            {
+                "command": command,
+                "schema_version": SCHEMA_VERSION,
+                "result": result,
+                "manifest": manifest.to_dict(),
+            },
             indent=2,
         )
     )
+
+
+def _maybe_enable_trace(args) -> None:
+    """Arm the tracer when the subcommand was given ``--trace PATH``."""
+    if getattr(args, "trace", None):
+        obs.enable()
+
+
+def _finish_trace(args, *, timeline=None, report=None) -> None:
+    """Write the merged Chrome trace when ``--trace PATH`` was given.
+
+    The file interleaves the simulator-self spans recorded since
+    :func:`_maybe_enable_trace` with the simulated lanes (pipeline
+    ``timeline`` or cluster ``report``), one process group each.
+    """
+    if not getattr(args, "trace", None):
+        return
+    path = save_trace(args.trace, timeline=timeline, report=report)
+    obs.disable()
+    if not getattr(args, "json", False):
+        print(f"wrote trace {path} (open in Perfetto or chrome://tracing)")
 
 
 def _run_config(
@@ -148,6 +199,7 @@ def cmd_run(args) -> int:
         args, n=args.n or 1, system="klotski",
         options={"quantize": True} if args.quantize else {},
     )
+    _maybe_enable_trace(args)
     scenario = build_scenario(config.scenario)
     # --set scenario.n wins over --n (it is applied last); with neither
     # given, scenario.n stays at the tree default of 1 and Klotski runs
@@ -170,12 +222,14 @@ def cmd_run(args) -> int:
         workload = scenario.workload.with_batches(explicit_n or 1)
         result = system.run_safe(scenario.with_workload(workload))
     if result.oom:
+        _finish_trace(args)
         payload = {"oom": True, "oom_reason": result.oom_reason}
         if args.json:
-            emit_json("run", payload)
+            emit_json("run", payload, config=config)
         else:
             print(f"OOM: {result.oom_reason}")
         return 0
+    _finish_trace(args, timeline=result.timeline)
     bubbles = analyze_bubbles(result.timeline)
     payload = dataclasses.asdict(result.metrics)
     payload["oom"] = False
@@ -189,7 +243,7 @@ def cmd_run(args) -> int:
             stats.participation_rate().mean()
         )
     if args.json:
-        emit_json("run", payload)
+        emit_json("run", payload, config=config)
         return 0
     print(result.metrics.summary())
     print(bubbles.summary())
@@ -263,6 +317,7 @@ def cmd_compare(args) -> int:
                 "batch_size": sc.batch_size,
                 "systems": rows,
             },
+            config=config,
         )
         return 0
     throughputs = {}
@@ -278,6 +333,7 @@ def cmd_compare(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    replay = args.arrival_trace
     tree = {
         "scenario": scenario_dict_from_args(args, n=1),
         "system": {"name": "klotski", "options": {}},
@@ -290,20 +346,22 @@ def cmd_serve(args) -> int:
             "slo_s": args.slo,
         },
         "serve": {
-            "arrival": "trace" if args.trace else args.arrival,
-            "arrival_options": {"path": args.trace} if args.trace else {},
+            "arrival": "trace" if replay else args.arrival,
+            "arrival_options": {"path": replay} if replay else {},
             "requests": args.requests,
             "rate_per_s": args.rate,
         },
     }
     apply_overrides(tree, args.set_overrides)
     config = RunConfig.from_dict(tree)
+    _maybe_enable_trace(args)
     try:
         report = run_cluster(config)
     except FileNotFoundError:
-        raise SystemExit(f"trace file not found: {args.trace}") from None
+        raise SystemExit(f"arrival trace file not found: {replay}") from None
+    _finish_trace(args, report=report)
     if args.json:
-        emit_json("serve", report.to_dict())
+        emit_json("serve", report.to_dict(), config=config)
     else:
         print(report.summary())
     return 0
@@ -364,6 +422,7 @@ def _resolve_experiments(names):
 def cmd_experiments_run(args) -> int:
     runner = _experiments_runner(args)
     experiments = _resolve_experiments(args.names)
+    _maybe_enable_trace(args)
     rows = []
     for experiment in experiments:
         run = runner.run(experiment.make_spec(args.full))
@@ -382,6 +441,7 @@ def cmd_experiments_run(args) -> int:
                 f"{run.stats.computed} computed, {run.stats.cached} cached "
                 f"({run.stats.hit_rate:.0%} hit rate)"
             )
+    _finish_trace(args)
     if args.json:
         emit_json(
             "experiments run",
@@ -440,9 +500,97 @@ _BENCH_FULLSCALE_PARAMS = {
 }
 
 
+def _time_cell(task, *, repeat: int | None = None) -> tuple[float, int]:
+    """Best-of-N wall time of one cell, in seconds.
+
+    The old single-shot measurement rounded sub-millisecond cells (e.g.
+    table2's pure-lookup cell) to ``0.0`` — useless as a regression
+    baseline. Short cells now repeat (up to five reps or 50 ms of total
+    work, whichever comes first) and report the *minimum*, the standard
+    low-noise estimator; expensive cells still run exactly once, keeping
+    the suite's wall time flat. ``repeat`` pins the rep count explicitly.
+    """
+    from repro.experiments.runner import execute_cell
+
+    best = float("inf")
+    total = 0.0
+    reps = 0
+    while True:
+        _clear_perf_memos()
+        t0 = time.perf_counter()
+        execute_cell(task)
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+        total += elapsed
+        reps += 1
+        if repeat is not None:
+            if reps >= repeat:
+                break
+        elif reps >= 5 or total >= 0.05:
+            break
+    return best, reps
+
+
+def _cell_ms(seconds: float) -> float:
+    """Milliseconds with a non-zero floor (a timing of 0.0 is always noise)."""
+    return max(round(seconds * 1e3, 4), 0.001)
+
+
+def _compare_bench(payload: dict, baseline: dict, tolerance: float) -> dict:
+    """Diff this run's bench timings against a baseline BENCH.json payload.
+
+    Cells are matched by experiment name; baselines written before the
+    ``ms`` field exist are handled via their legacy ``seconds`` field.
+    The full-scale fig10 cold/warm timings are compared when both sides
+    carry them. A cell regresses when it is more than ``tolerance``
+    (fractional) slower than its baseline.
+    """
+    rows = []
+    regressions = []
+
+    def add(name: str, base_ms: float | None, cur_ms: float) -> None:
+        ratio = cur_ms / base_ms if base_ms else None
+        regressed = ratio is not None and ratio > 1.0 + tolerance
+        rows.append(
+            {
+                "experiment": name,
+                "base_ms": base_ms,
+                "ms": cur_ms,
+                "ratio": round(ratio, 4) if ratio is not None else None,
+                "regressed": regressed,
+            }
+        )
+        if regressed:
+            regressions.append(name)
+
+    base_cells = {c["experiment"]: c for c in baseline.get("cells", [])}
+    for cell in payload["cells"]:
+        base = base_cells.get(cell["experiment"])
+        if base is None:
+            continue
+        base_ms = base.get("ms")
+        if base_ms is None and "seconds" in base:
+            base_ms = base["seconds"] * 1e3
+        add(cell["experiment"], base_ms, cell["ms"])
+    full, base_full = payload.get("fullscale_fig10"), baseline.get("fullscale_fig10")
+    if full and base_full:
+        for key in ("cold_s", "warm_s"):
+            if key in full and key in base_full:
+                add(
+                    f"fullscale_fig10.{key}",
+                    base_full[key] * 1e3,
+                    full[key] * 1e3,
+                )
+    return {
+        "tolerance": tolerance,
+        "rows": rows,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
 def cmd_bench(args) -> int:
     """Perf smoke: time one reduced cell per experiment into BENCH.json."""
-    import time
     from pathlib import Path
 
     from repro.experiments.runner import execute_cell
@@ -452,19 +600,20 @@ def cmd_bench(args) -> int:
     suite_start = time.perf_counter()
     for experiment in experiments:
         cell = experiment.make_spec(False).cells()[0]
-        _clear_perf_memos()
-        t0 = time.perf_counter()
-        execute_cell((cell.runner, cell.params))
-        seconds = time.perf_counter() - t0
+        best_s, reps = _time_cell((cell.runner, cell.params), repeat=args.repeat)
         cells.append(
             {
                 "experiment": experiment.name,
                 "runner": cell.runner,
-                "seconds": round(seconds, 4),
+                "ms": _cell_ms(best_s),
+                "repeats": reps,
             }
         )
         if not args.json:
-            print(f"{experiment.name:<8} {cell.runner:<18} {seconds:8.3f} s")
+            print(
+                f"{experiment.name:<8} {cell.runner:<18} "
+                f"{_cell_ms(best_s):10.3f} ms (best of {reps})"
+            )
     suite_wall = time.perf_counter() - suite_start
 
     payload = {
@@ -498,11 +647,37 @@ def cmd_bench(args) -> int:
             payload["baseline"] = json.loads(Path(args.baseline).read_text())
         except FileNotFoundError:
             raise SystemExit(f"baseline file not found: {args.baseline}") from None
+    compare = None
+    if args.compare:
+        try:
+            baseline = json.loads(Path(args.compare).read_text())
+        except FileNotFoundError:
+            raise SystemExit(f"compare baseline not found: {args.compare}") from None
+        compare = _compare_bench(payload, baseline, args.tolerance)
+        payload["compare"] = compare
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     if args.json:
         emit_json("bench", payload)
     else:
         print(f"wrote {args.out} (suite {suite_wall:.2f} s)")
+        if compare is not None:
+            for row in compare["rows"]:
+                base = row["base_ms"]
+                base_text = f"{base:10.3f}" if base is not None else "       n/a"
+                ratio = row["ratio"]
+                ratio_text = f"{ratio:6.2f}x" if ratio is not None else "    n/a"
+                flag = "  REGRESSED" if row["regressed"] else ""
+                print(
+                    f"{row['experiment']:<24} {base_text} -> "
+                    f"{row['ms']:10.3f} ms {ratio_text}{flag}"
+                )
+            if not compare["ok"]:
+                print(
+                    f"{len(compare['regressions'])} cell(s) regressed beyond "
+                    f"{args.tolerance:.0%}: {', '.join(compare['regressions'])}"
+                )
+    if compare is not None and not compare["ok"]:
+        return 1
     return 0
 
 
@@ -518,7 +693,7 @@ def cmd_validate(args) -> int:
     )
     report = run_fuzz(config)
     if args.json:
-        emit_json("validate", report.to_dict())
+        emit_json("validate", report.to_dict(), seed=args.seed)
     else:
         print(report.summary())
         if report.ok:
@@ -538,6 +713,41 @@ def cmd_sweep_n(args) -> int:
         result = build_system("klotski").run(scenario)
         grid.add("klotski", n, result.metrics.throughput)
     print(grid.render())
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Trace one pipeline run and print where the simulator's wall time went."""
+    from repro.obs import tracer
+
+    config = _run_config(args, n=args.n or 4)
+    scenario = build_scenario(config.scenario)
+    obs.enable()
+    result = build_system("klotski").run_safe(scenario)
+    obs.disable()
+    spans = tracer.spans_snapshot()
+    if args.trace:
+        save_trace(
+            args.trace,
+            spans=spans,
+            timeline=None if result.oom else result.timeline,
+        )
+    if args.json:
+        emit_json(
+            "profile",
+            {
+                "oom": result.oom,
+                "num_spans": len(spans),
+                "top": tracer.aggregate_spans(spans)[: args.top],
+            },
+            config=config,
+        )
+        return 0
+    print(tracer.format_span_tree(spans))
+    print()
+    print(tracer.format_top(spans, k=args.top))
+    if args.trace:
+        print(f"wrote trace {args.trace} (open in Perfetto or chrome://tracing)")
     return 0
 
 
@@ -576,6 +786,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = scenario_parser("run", "run Klotski and print metrics")
     p.add_argument("--n", type=int, default=None, help="batch-group size (default: planned)")
     p.add_argument("--quantize", action="store_true")
+    p.add_argument(
+        "--trace",
+        help="write a merged Chrome trace (self spans + simulated lanes) here",
+    )
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_run)
 
@@ -607,7 +821,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--arrival", default="poisson", choices=["poisson", "bursty"],
         help="arrival process",
     )
-    p.add_argument("--trace", help="replay arrivals from a JSON trace file")
+    p.add_argument(
+        "--arrival-trace", help="replay arrivals from a JSON trace file"
+    )
+    p.add_argument(
+        "--trace",
+        help="write a merged Chrome trace (self spans + replica lanes) here",
+    )
     p.add_argument("--group-batches", type=int, default=2,
                    help="batches per dispatched group")
     p.add_argument("--max-wait", type=float, default=60.0,
@@ -654,6 +874,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true",
         help="recompute every cell, refreshing the cache",
     )
+    ep.add_argument(
+        "--trace",
+        help="write a Chrome trace of cell execution (all workers) here",
+    )
     ep.add_argument("--json", action="store_true")
     ep.set_defaults(func=cmd_experiments_run)
 
@@ -688,6 +912,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--baseline",
         help="JSON file of reference timings embedded under 'baseline'",
+    )
+    p.add_argument(
+        "--compare", metavar="BASELINE.json",
+        help="diff timings against this baseline; exit 1 on regression",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="fractional slowdown tolerated by --compare (default: 0.5)",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=None, metavar="N",
+        help="pin the per-cell repetition count (default: adaptive)",
     )
     p.add_argument("--json", action="store_true", help="emit JSON to stdout")
     p.set_defaults(func=cmd_bench)
@@ -724,10 +960,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="klotski_trace.json")
     p.set_defaults(func=cmd_export_trace)
 
+    p = scenario_parser(
+        "profile", "trace one pipeline run and print the span profile"
+    )
+    p.add_argument("--n", type=int, default=None, help="batch-group size")
+    p.add_argument(
+        "--top", type=int, default=15,
+        help="rows in the by-span-name table (default: 15)",
+    )
+    p.add_argument(
+        "--trace", help="also write the merged Chrome trace to this path"
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.set_defaults(func=cmd_profile)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    global _CLI_T0
+    _CLI_T0 = time.perf_counter()
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

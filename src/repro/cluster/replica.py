@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.model.tensors import EXPERT
+from repro.obs import count, span
 from repro.serving.requests import Request
 from repro.serving.server import BatchingConfig, group_shape
 from repro.routing.workload import Workload
@@ -205,12 +206,21 @@ class Replica:
             gen,
         )
         if key not in self._cache:
-            workload = Workload(self.batching.batch_size, n_batches, prompt, gen)
-            result = self.system.run(self.scenario.with_workload(workload))
+            count("memo.group_timing.miss")
+            with span(
+                "replica.group_timing",
+                {"replica": self.replica_id, "n_batches": n_batches},
+            ):
+                workload = Workload(
+                    self.batching.batch_size, n_batches, prompt, gen
+                )
+                result = self.system.run(self.scenario.with_workload(workload))
             self._cache[key] = GroupTiming(
                 total_s=result.metrics.total_time_s,
                 prefill_s=result.metrics.prefill_time_s,
             )
+        else:
+            count("memo.group_timing.hit")
         return self._cache[key]
 
     def dispatch(self, now: float) -> DispatchedGroup:

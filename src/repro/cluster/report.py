@@ -117,6 +117,8 @@ class ClusterReport:
         records: one :class:`RequestRecord` per served request.
         replicas: per-replica telemetry.
         makespan_s: last completion time.
+        counters: event-loop counts (arrivals, dispatches by trigger,
+            completions), deterministic per request stream.
     """
 
     router: str
@@ -124,6 +126,11 @@ class ClusterReport:
     records: list[RequestRecord] = field(default_factory=list)
     replicas: list[ReplicaStats] = field(default_factory=list)
     makespan_s: float = 0.0
+    # Event-loop counters (arrivals, dispatches by trigger, completions,
+    # routed requests). Deterministic per request stream — unlike the
+    # process-wide memo counters, which live in the CLI manifest because
+    # their hit/miss split depends on what ran earlier in the process.
+    counters: dict = field(default_factory=dict)
 
     # ---- latency ----------------------------------------------------------
 
@@ -222,6 +229,11 @@ class ClusterReport:
             f"(${1e3 * self.cost_per_token():.4f} per 1k tokens), "
             f"{self.expert_misses} expert fetch misses",
         ]
+        if self.counters:
+            lines.append(
+                "events: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+            )
         for stats in self.replicas:
             lines.append(
                 f"  replica {stats.replica_id} [{stats.hardware}] "
@@ -251,6 +263,7 @@ class ClusterReport:
             "cost_usd": self.cost_usd(),
             "cost_per_token_usd": self.cost_per_token(),
             "expert_misses": self.expert_misses,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "replicas": [r.to_dict(self.makespan_s) for r in self.replicas],
             "requests": [
                 {

@@ -33,6 +33,7 @@ from repro.cluster.report import ClusterReport, ReplicaStats, RequestRecord
 from repro.cluster.routers import Router
 from repro.hardware.spec import HardwareSpec
 from repro.model.config import ModelConfig
+from repro.obs import count, span
 from repro.routing.popularity import zipf_weights
 from repro.routing.workload import Workload
 from repro.scenario import Scenario
@@ -194,13 +195,24 @@ class ClusterSimulator:
 
     def run(self, requests: list[Request]) -> ClusterReport:
         """Simulate the stream to completion and aggregate the report."""
+        with span(
+            "cluster.run",
+            {"replicas": len(self.replicas), "requests": len(requests)},
+        ):
+            return self._run(requests)
+
+    def _run(self, requests: list[Request]) -> ClusterReport:
         report = ClusterReport(router=self.router.name, slo_s=self.config.slo_s)
+        # Event-loop accounting: folded into the report (deterministic per
+        # stream) and mirrored to the process counters for the manifest.
+        arrivals = full_dispatches = deadline_dispatches = completions = 0
         events = EventQueue()
         for request in sorted(requests, key=lambda r: r.arrival_s):
             events.push(request.arrival_s, ARRIVAL, request)
 
         def dispatch(replica: Replica, now: float) -> None:
-            group = replica.dispatch(now)
+            with span("cluster.dispatch", {"replica": replica.replica_id}):
+                group = replica.dispatch(now)
             events.push(group.completion_s, COMPLETION, (replica, group))
             self._record(report, replica, group)
 
@@ -208,10 +220,13 @@ class ClusterSimulator:
             event = events.pop()
             now = event.time
             if event.kind == ARRIVAL:
+                arrivals += 1
                 request: Request = event.payload
-                replica = self.router.choose(request, self.replicas, now)
+                with span("cluster.route"):
+                    replica = self.router.choose(request, self.replicas, now)
                 replica.enqueue(request, now)
                 if replica.group_ready():
+                    full_dispatches += 1
                     dispatch(replica, now)
                 else:
                     events.push(
@@ -222,8 +237,10 @@ class ClusterSimulator:
             elif event.kind == DEADLINE:
                 replica = event.payload
                 if replica.queue and replica.oldest_deadline() <= now + _EPS:
+                    deadline_dispatches += 1
                     dispatch(replica, now)
             else:  # COMPLETION
+                completions += 1
                 replica, group = event.payload
                 replica.complete(group)
 
@@ -231,6 +248,15 @@ class ClusterSimulator:
             (r.free_at for r in self.replicas if r.groups), default=0.0
         )
         report.replicas = [self._replica_stats(r) for r in self.replicas]
+        report.counters = {
+            "arrivals": arrivals,
+            "full_group_dispatches": full_dispatches,
+            "deadline_dispatches": deadline_dispatches,
+            "dispatched_groups": full_dispatches + deadline_dispatches,
+            "completions": completions,
+        }
+        for name, value in report.counters.items():
+            count(f"cluster.{name}", value)
         return report
 
     @staticmethod

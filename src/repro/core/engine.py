@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.api.registry import register_system
 from repro.compression.sparse_attention import SparseAttentionConfig
+from repro.obs import count, span
 from repro.systems import InferenceSystem, SystemResult
 from repro.core.pipeline import PipelineFeatures, QUANT_BYTES_FACTOR
 from repro.core.placement import PlacementConfig, PlacementPlan, plan_placement
@@ -49,16 +50,21 @@ def warm_up_prefetcher(
     key = (oracle.router.config, scenario.seed, steps, tokens_per_step)
     traces = _WARMUP_TRACE_MEMO.get(key)
     if traces is None:
+        count("memo.warmup_trace.miss")
         rng = np.random.default_rng(scenario.seed + 17)
-        traces = [
-            oracle.router.sample_step(tokens_per_step, rng) for _ in range(steps)
-        ]
+        with span("engine.warmup_traces", {"steps": steps}):
+            traces = [
+                oracle.router.sample_step(tokens_per_step, rng)
+                for _ in range(steps)
+            ]
         for step in traces:
             for assignment in step:
                 assignment.setflags(write=False)
         if len(_WARMUP_TRACE_MEMO) >= _WARMUP_TRACE_MEMO_CAP:
             _WARMUP_TRACE_MEMO.clear()
         _WARMUP_TRACE_MEMO[key] = traces
+    else:
+        count("memo.warmup_trace.hit")
     prefetcher.warm_up(traces)
 
 

@@ -17,6 +17,8 @@ import json
 import os
 from pathlib import Path
 
+from repro.obs import count
+
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 
@@ -55,9 +57,12 @@ class ArtifactStore:
         path = self.path_for(key)
         try:
             with path.open() as fh:
-                return json.load(fh)
+                payload = json.load(fh)
         except (OSError, json.JSONDecodeError):
+            count("artifacts.miss")
             return None
+        count("artifacts.hit")
+        return payload
 
     def put(self, key: str, payload: dict) -> Path:
         """Atomically persist ``payload`` under ``key``.
@@ -74,6 +79,7 @@ class ArtifactStore:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
         tmp.replace(path)
+        count("artifacts.put")
         return path
 
     def __len__(self) -> int:

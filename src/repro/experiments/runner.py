@@ -18,6 +18,7 @@ import multiprocessing
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.experiments.cache import ArtifactStore
 from repro.experiments.spec import Cell, ExperimentSpec
 
@@ -60,9 +61,23 @@ def probe_cell(params: dict) -> dict:
     return {"echo": dict(params), "digest": acc * value}
 
 
-def _worker_init() -> None:
-    """Pool initializer: make sure the paper cells are registered."""
+def _worker_init(tracing: bool = False) -> None:
+    """Pool initializer: register the paper cells, arm the tracer.
+
+    Args:
+        tracing: enable span recording in this worker (the parent's
+            *enabled* flag does not propagate under ``spawn``, so it is
+            passed explicitly).
+    """
     import repro.experiments.paper  # noqa: F401
+
+    # Under the fork start method the worker inherits the parent's span
+    # and counter buffers; drop them so collect() ships only this
+    # worker's own observations (under spawn this is a no-op).
+    obs.collect()
+    obs.disable()
+    if tracing:
+        obs.enable()
 
 
 def execute_cell(task: tuple[str, dict]) -> dict:
@@ -84,7 +99,20 @@ def execute_cell(task: tuple[str, dict]) -> dict:
             f"unknown cell function {runner_name!r}; registered: "
             f"{sorted(CELL_FUNCTIONS)}"
         ) from None
-    return fn(dict(params))
+    with obs.span("cell", {"runner": runner_name}):
+        return fn(dict(params))
+
+
+def _execute_cell_collecting(task: tuple[str, dict]) -> tuple[dict, dict]:
+    """Pool task: run one cell and ship the worker's observations home.
+
+    The worker's span/counter buffers are snapshot-and-cleared after each
+    cell, so every returned payload covers exactly that cell; the parent
+    merges payloads in task-submission order, which makes the merged
+    stream deterministic regardless of pool scheduling.
+    """
+    result = execute_cell(task)
+    return result, obs.collect()
 
 
 @dataclass
@@ -202,6 +230,10 @@ class Runner:
             An :class:`ExperimentRun` with one result per cell, in
             expansion order, plus hit/miss statistics.
         """
+        with obs.span("experiments.spec", {"spec": spec.name}):
+            return self._run(spec)
+
+    def _run(self, spec: ExperimentSpec) -> ExperimentRun:
         cells = spec.cells()
         fresh: dict[str, dict] = {}
         pending: list[Cell] = []
@@ -213,8 +245,10 @@ class Runner:
             seen.add(cell.key)
             payload = None if self.force else self.store.get(cell.key)
             if payload is not None and "result" in payload:
+                obs.count("experiments.cells.cached")
                 cached[cell.key] = payload["result"]
             else:
+                obs.count("experiments.cells.computed")
                 pending.append(cell)
 
         if pending:
@@ -222,9 +256,19 @@ class Runner:
             if self.jobs > 1 and len(pending) > 1:
                 ctx = multiprocessing.get_context()
                 with ctx.Pool(
-                    min(self.jobs, len(pending)), initializer=_worker_init
+                    min(self.jobs, len(pending)),
+                    initializer=_worker_init,
+                    initargs=(obs.enabled(),),
                 ) as pool:
-                    outputs = pool.map(execute_cell, tasks)
+                    collected = pool.map(_execute_cell_collecting, tasks)
+                outputs = []
+                # Worker payloads merge in task-submission order — one
+                # deterministic span/counter stream however the pool
+                # interleaved the cells. Worker lanes are keyed by task
+                # index so re-runs label spans identically.
+                for i, (result, payload) in enumerate(collected):
+                    outputs.append(result)
+                    obs.merge(payload, worker=i + 1)
             else:
                 outputs = [execute_cell(task) for task in tasks]
             for cell, result in zip(pending, outputs):

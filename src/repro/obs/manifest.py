@@ -1,0 +1,105 @@
+"""Run provenance: the manifest embedded in every CLI ``--json`` envelope.
+
+A :class:`RunManifest` answers "what exactly produced this number": the
+command, a content hash of the declarative config that ran (the same
+``repro.api.canonical`` convention that addresses experiment cells), the
+scenario seed, the package version, wall time, and the process's
+cache/memo counters at emission time. Because the hash is computed from
+``RunConfig.to_dict()``, two envelopes with equal ``config_hash`` ran
+byte-identical configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import repro.obs.tracer as tracer
+from repro.api.canonical import stable_hash
+
+MANIFEST_KEYS = (
+    "command",
+    "config_hash",
+    "seed",
+    "version",
+    "wall_s",
+    "counters",
+    "gauges",
+)
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance of one CLI invocation.
+
+    Attributes:
+        command: the CLI subcommand that produced the envelope.
+        config_hash: ``stable_hash`` of the run's canonical config dict
+            (None when the command has no declarative config).
+        seed: the scenario seed the run used (None when not applicable).
+        version: ``repro.__version__`` of the producing process.
+        wall_s: wall-clock seconds from command start to emission.
+        counters: process counter snapshot (memo/cache hit-miss stats).
+        gauges: process gauge snapshot.
+    """
+
+    command: str
+    config_hash: str | None
+    seed: int | None
+    version: str
+    wall_s: float
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON form, with keys in the stable :data:`MANIFEST_KEYS` order."""
+        return {
+            "command": self.command,
+            "config_hash": self.config_hash,
+            "seed": self.seed,
+            "version": self.version,
+            "wall_s": self.wall_s,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+
+def build_manifest(
+    command: str,
+    *,
+    config=None,
+    seed: int | None = None,
+    started: float | None = None,
+) -> RunManifest:
+    """Assemble the manifest for one command's envelope.
+
+    Args:
+        command: CLI subcommand name.
+        config: the :class:`~repro.api.RunConfig` (or any object with a
+            ``to_dict``) that ran; hashed canonically. None: no config.
+        seed: scenario seed override; defaults to ``config.scenario.seed``
+            when a config is given.
+        started: ``time.perf_counter()`` at command start (None: wall_s
+            is 0.0).
+
+    Returns:
+        The populated :class:`RunManifest`.
+    """
+    from repro import __version__
+
+    config_hash = None
+    if config is not None:
+        config_hash = stable_hash(config.to_dict())
+        if seed is None:
+            scenario = getattr(config, "scenario", None)
+            seed = getattr(scenario, "seed", None)
+    wall_s = 0.0 if started is None else perf_counter() - started
+    return RunManifest(
+        command=command,
+        config_hash=config_hash,
+        seed=seed,
+        version=__version__,
+        wall_s=round(wall_s, 6),
+        counters=tracer.counters_snapshot(),
+        gauges=tracer.gauges_snapshot(),
+    )

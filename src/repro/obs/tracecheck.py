@@ -1,0 +1,114 @@
+"""Schema check for emitted Chrome-trace files (no external deps).
+
+CI runs ``python -m repro.obs.tracecheck trace.json`` after a traced
+``experiments run`` to guarantee every ``--trace`` artifact stays loadable
+by Perfetto / ``chrome://tracing``: the JSON Object Format with a
+``traceEvents`` array whose events carry the fields the viewers require
+(``ph``/``pid``/``tid`` everywhere; ``name``/``ts``/``dur`` on complete
+events; ``args.name`` on metadata records).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+_NUMBER = (int, float)
+
+
+def validate_chrome_trace(payload) -> list[str]:
+    """Validate a parsed trace document against the Chrome trace schema.
+
+    Args:
+        payload: the parsed JSON document.
+
+    Returns:
+        Human-readable schema violations; empty when the file is valid.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"top level must be an object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    unit = payload.get("displayTimeUnit", "ms")
+    if unit not in ("ms", "ns"):
+        errors.append(f"displayTimeUnit must be 'ms' or 'ns', got {unit!r}")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if not isinstance(ph, str) or len(ph) != 1:
+            errors.append(f"{where}: 'ph' must be a 1-char string, got {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), _NUMBER):
+                errors.append(f"{where}: {key!r} must be a number")
+        if ph == "X":
+            if not isinstance(event.get("name"), str) or not event.get("name"):
+                errors.append(f"{where}: complete event needs a 'name'")
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, _NUMBER):
+                    errors.append(f"{where}: {key!r} must be a number")
+                elif key == "dur" and value <= 0:
+                    errors.append(f"{where}: 'dur' must be positive, got {value}")
+        elif ph == "M":
+            if event.get("name") not in ("process_name", "thread_name"):
+                errors.append(
+                    f"{where}: metadata name {event.get('name')!r} not supported"
+                )
+            args = event.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+                errors.append(f"{where}: metadata needs args.name")
+        else:
+            errors.append(f"{where}: unsupported phase {ph!r}")
+        if len(errors) >= 20:
+            errors.append("... (truncated)")
+            break
+    return errors
+
+
+def check_file(path: str | Path) -> list[str]:
+    """Load and validate one trace file.
+
+    Args:
+        path: the trace JSON file to check.
+
+    Returns:
+        Schema violations; empty when valid.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        return [f"{path}: no such file"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON ({exc})"]
+    return validate_chrome_trace(payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.tracecheck TRACE.json [...]")
+        return 2
+    failed = False
+    for path in argv:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}")
+        else:
+            events = json.loads(Path(path).read_text())["traceEvents"]
+            print(f"{path}: ok ({len(events)} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.obs import count
 from repro.routing.synthetic import RoutingModelConfig, SyntheticRouter
 from repro.routing.trace import ExpertTrace
 from repro.routing.workload import Workload
@@ -107,6 +108,7 @@ class SyntheticOracle(RoutingOracle):
         )
         cached = _STEP_ROUTING_MEMO.get(key)
         if cached is None:
+            count("memo.step_routing.miss")
             cached = []
             for layer, assignments in self.router.stream(
                 n_tokens, seed=self.seed * 100_003 + step
@@ -117,6 +119,7 @@ class SyntheticOracle(RoutingOracle):
                 _STEP_ROUTING_MEMO.popitem(last=False)
             _STEP_ROUTING_MEMO[key] = cached
         else:
+            count("memo.step_routing.hit")
             _STEP_ROUTING_MEMO.move_to_end(key)
         return iter(cached)
 

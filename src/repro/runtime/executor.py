@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.errors import OutOfMemoryError, ScheduleError
 from repro.hardware.spec import HardwareSpec
+from repro.obs import span
 from repro.runtime.schedule import (
     EV_ALLOC,
     RESOURCES,
@@ -89,8 +90,11 @@ class Executor:
         if isinstance(schedule, CompiledSchedule):
             return self._run_compiled(schedule, capacities)
         if self.config.engine == "legacy":
-            return self._run_legacy(schedule, capacities)
-        return self._run_compiled(schedule.freeze(), capacities)
+            with span("executor.legacy"):
+                return self._run_legacy(schedule, capacities)
+        with span("schedule.freeze"):
+            compiled = schedule.freeze()
+        return self._run_compiled(compiled, capacities)
 
     # ---- compiled engine ---------------------------------------------------
 
@@ -102,6 +106,7 @@ class Executor:
         available = [0.0] * len(RESOURCES)
         append_start = starts.append
         append_end = ends.append
+        timing_span = span("executor.timing_pass", {"ops": compiled.num_ops})
         try:
             # ``ends`` only holds already-finished ops, so a forward (or
             # self) dependency fails fast as an IndexError instead of
@@ -122,6 +127,8 @@ class Executor:
             raise ScheduleError(
                 f"op {len(ends)} has a forward or self dependency"
             ) from None
+        finally:
+            timing_span.__exit__()
 
         starts_arr = np.array(starts, dtype=np.float64)
         ends_arr = np.array(ends, dtype=np.float64)
@@ -135,9 +142,10 @@ class Executor:
         busy = {resource: float(busy_arr[i]) for i, resource in enumerate(RESOURCES)}
         makespan = max(ends) if ends else 0.0
 
-        usage_arrays, peaks = self._replay_memory_compiled(
-            compiled, starts_arr, ends_arr, self._capacities(capacities)
-        )
+        with span("executor.memory_replay"):
+            usage_arrays, peaks = self._replay_memory_compiled(
+                compiled, starts_arr, ends_arr, self._capacities(capacities)
+            )
         view = _CompiledView(compiled, starts_arr, ends_arr, usage_arrays)
         return Timeline(
             executed=None,

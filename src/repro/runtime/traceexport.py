@@ -26,22 +26,40 @@ _PHASE_COLORS = {
 }
 
 
-def timeline_to_chrome_trace(timeline: Timeline, *, time_unit_us: bool = True) -> dict:
-    """Convert a timeline to a Chrome trace event dict."""
+def timeline_to_chrome_trace(
+    timeline: Timeline, *, time_unit_us: bool = True, pid: int = 0
+) -> dict:
+    """Convert a timeline to a Chrome trace event dict.
+
+    Args:
+        timeline: the executed timeline to export.
+        time_unit_us: scale simulated seconds to microseconds (default)
+            instead of milliseconds.
+        pid: Chrome-trace process id for every lane. The merged exporter
+            (:mod:`repro.obs.export`) places simulated lanes and
+            simulator-self spans in distinct pids of one file.
+    """
     scale = 1e6 if time_unit_us else 1e3
     events = [
         {
-            "name": resource,
+            "name": "process_name",
             "ph": "M",
-            "pid": 0,
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "simulated timeline"},
+        }
+    ]
+    # thread_name metadata records must use the reserved name.
+    events.extend(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
             "tid": _LANE[resource],
             "args": {"name": resource},
         }
         for resource in RESOURCES
-    ]
-    # thread_name metadata records must use the reserved name.
-    for meta in events:
-        meta["name"] = "thread_name"
+    )
     for executed in timeline.executed:
         op = executed.op
         event = {
@@ -50,7 +68,7 @@ def timeline_to_chrome_trace(timeline: Timeline, *, time_unit_us: bool = True) -
             "ph": "X",
             "ts": executed.start * scale,
             "dur": max(executed.duration * scale, 0.001),
-            "pid": 0,
+            "pid": pid,
             "tid": _LANE[op.resource],
             "args": {"layer": op.layer, "batch": op.batch, "phase": op.phase},
         }

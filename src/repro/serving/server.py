@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import count, span
 from repro.routing.workload import Workload
 from repro.scenario import Scenario
 from repro.serving.requests import Request
@@ -123,11 +124,15 @@ class Server:
     def _group_time(self, n_batches: int, prompt_len: int, gen_len: int) -> float:
         key = (n_batches, prompt_len, gen_len)
         if key not in self._group_time_cache:
-            workload = Workload(
-                self.batching.batch_size, n_batches, prompt_len, gen_len
-            )
-            result = self.system.run(self.scenario.with_workload(workload))
+            count("memo.server_group_time.miss")
+            with span("server.group_time", {"n_batches": n_batches}):
+                workload = Workload(
+                    self.batching.batch_size, n_batches, prompt_len, gen_len
+                )
+                result = self.system.run(self.scenario.with_workload(workload))
             self._group_time_cache[key] = result.metrics.total_time_s
+        else:
+            count("memo.server_group_time.hit")
         return self._group_time_cache[key]
 
     def simulate(self, requests: list[Request]) -> ServingReport:

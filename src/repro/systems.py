@@ -23,6 +23,7 @@ from repro.core.pipeline import BuildResult, PipelineBuilder, PipelineFeatures
 from repro.core.placement import PlacementPlan
 from repro.core.prefetcher import ExpertPrefetcher
 from repro.errors import OutOfMemoryError
+from repro.obs import span
 from repro.routing.workload import Workload
 from repro.runtime.executor import Executor
 from repro.runtime.metrics import InferenceMetrics, metrics_from_timeline
@@ -174,11 +175,13 @@ class InferenceSystem:
 
     def run(self, scenario: Scenario) -> SystemResult:
         workload = scenario.workload
-        built = self.build(scenario)
+        with span("system.build", {"system": self.name}):
+            built = self.build(scenario)
         schedule, build = built.schedule, built.build
         prefetcher, placement = built.prefetcher, built.placement
 
-        timeline = Executor(scenario.hardware).run(schedule)
+        with span("system.execute", {"system": self.name}):
+            timeline = Executor(scenario.hardware).run(schedule)
         prefill_end = 0.0
         if build.step_last_op:
             prefill_end = timeline.end_of(build.step_last_op[0])

@@ -121,3 +121,25 @@ def test_builtin_registry_entries_are_pinned():
 
 def test_schema_version_is_stable():
     assert api.SCHEMA_VERSION == 1
+
+
+def test_json_envelope_and_manifest_keys_are_pinned(capsys):
+    """The ``--json`` envelope is a wire contract like the API surface.
+
+    Downstream tooling parses these keys; adding one is an extension,
+    but removing/renaming must fail here (and update ``MANIFEST_KEYS``
+    deliberately).
+    """
+    import json
+
+    from repro.cli import main
+    from repro.obs import MANIFEST_KEYS
+
+    assert main(["experiments", "list", "--json"]) == 0
+    envelope = json.loads(capsys.readouterr().out)
+    assert tuple(envelope) == ("command", "schema_version", "result", "manifest")
+    assert tuple(envelope["manifest"]) == MANIFEST_KEYS
+    assert MANIFEST_KEYS == (
+        "command", "config_hash", "seed", "version", "wall_s",
+        "counters", "gauges",
+    )

@@ -19,7 +19,10 @@ class TestBenchCLI:
         names = [cell["experiment"] for cell in payload["cells"]]
         assert names == ["fig5", "table2"]
         for cell in payload["cells"]:
-            assert cell["seconds"] >= 0
+            # The old single-shot timer reported 0.0 s for sub-ms cells;
+            # the best-of-N timer floors at a strictly positive ms.
+            assert cell["ms"] > 0
+            assert cell["repeats"] >= 1
         assert "fullscale_fig10" not in payload
 
     def test_json_flag_prints_payload(self, tmp_path, capsys):
@@ -59,3 +62,70 @@ class TestBenchCLI:
     def test_unknown_experiment_errors(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["bench", "nope", "--out", str(tmp_path / "b.json")])
+
+    def test_compare_within_tolerance_passes(self, tmp_path):
+        base = tmp_path / "base.json"
+        out = tmp_path / "BENCH.json"
+        assert main(
+            ["bench", "table2", "--skip-full-cell", "--out", str(base)]
+        ) == 0
+        rc = main(
+            [
+                "bench", "table2", "--skip-full-cell", "--out", str(out),
+                "--compare", str(base), "--tolerance", "1000",
+            ]
+        )
+        assert rc == 0
+        compare = json.loads(out.read_text())["compare"]
+        assert compare["ok"] is True
+        assert compare["regressions"] == []
+        assert [row["experiment"] for row in compare["rows"]] == ["table2"]
+
+    def test_compare_regression_exits_nonzero(self, tmp_path):
+        base = tmp_path / "base.json"
+        # An impossibly fast baseline: every real timing is a regression.
+        base.write_text(
+            json.dumps(
+                {"cells": [{"experiment": "table2", "ms": 1e-9}]}
+            )
+        )
+        out = tmp_path / "BENCH.json"
+        rc = main(
+            [
+                "bench", "table2", "--skip-full-cell", "--out", str(out),
+                "--compare", str(base),
+            ]
+        )
+        assert rc == 1
+        compare = json.loads(out.read_text())["compare"]
+        assert compare["ok"] is False
+        assert compare["regressions"] == ["table2"]
+
+    def test_compare_reads_legacy_seconds_baseline(self, tmp_path):
+        base = tmp_path / "base.json"
+        # Pre-ms baselines recorded whole seconds; table2 is far faster.
+        base.write_text(
+            json.dumps(
+                {"cells": [{"experiment": "table2", "seconds": 10.0}]}
+            )
+        )
+        out = tmp_path / "BENCH.json"
+        rc = main(
+            [
+                "bench", "table2", "--skip-full-cell", "--out", str(out),
+                "--compare", str(base),
+            ]
+        )
+        assert rc == 0
+        row = json.loads(out.read_text())["compare"]["rows"][0]
+        assert row["base_ms"] == pytest.approx(10_000.0)
+
+    def test_missing_compare_baseline_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "bench", "table2", "--skip-full-cell",
+                    "--out", str(tmp_path / "b.json"),
+                    "--compare", str(tmp_path / "missing.json"),
+                ]
+            )

@@ -15,6 +15,7 @@ from types import SimpleNamespace
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.cluster.replica import Replica, clear_group_timing_memo
 from repro.routing.oracle import (
     _STEP_ROUTING_MEMO,
@@ -186,6 +187,52 @@ class TestGroupTimingMemo:
         b._group_timing(1, 16, 2)
         # Same display name, different options: must occupy two entries.
         assert len(cache) == 2
+
+
+class TestMemoCounters:
+    """The memo caches report their traffic through ``repro.obs`` counters.
+
+    These are the numbers the CLI manifest surfaces; they double as a
+    cache-effectiveness assertion — repeated identical lookups must be
+    dominated by hits, not recomputation.
+    """
+
+    def setup_method(self):
+        obs.reset_counters()
+        clear_step_routing_memo()
+        clear_group_timing_memo()
+
+    def test_step_routing_hit_miss_counts(self):
+        oracle = make_oracle()
+        for _ in range(3):
+            oracle.step_routing(1, WORKLOAD)
+        counters = obs.counters_snapshot()
+        assert counters["memo.step_routing.miss"] == 1
+        assert counters["memo.step_routing.hit"] == 2
+
+    def test_group_timing_cache_is_effective(self):
+        system, cache = CountingSystem(), {}
+        replica = make_replica(system, cache=cache)
+        for _ in range(5):
+            replica._group_timing(2, 30, 2)
+        counters = obs.counters_snapshot()
+        assert counters["memo.group_timing.miss"] == 1
+        assert counters["memo.group_timing.hit"] == 4
+        # One real simulation total: the hit count must dominate.
+        assert system.runs == 1
+        assert (
+            counters["memo.group_timing.hit"]
+            > counters["memo.group_timing.miss"]
+        )
+
+    def test_distinct_keys_count_as_misses(self):
+        system, cache = CountingSystem(), {}
+        replica = make_replica(system, cache=cache)
+        replica._group_timing(2, 30, 2)
+        replica._group_timing(4, 30, 2)
+        counters = obs.counters_snapshot()
+        assert counters["memo.group_timing.miss"] == 2
+        assert "memo.group_timing.hit" not in counters
 
 
 @pytest.fixture(autouse=True)

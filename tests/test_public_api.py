@@ -203,7 +203,7 @@ class TestCLICoverage:
             ' {"arrival_s": 0.5, "prompt_len": 64, "gen_len": 2}]'
         )
         code = main([
-            "serve", "--replicas", "1", "--trace", str(trace),
+            "serve", "--replicas", "1", "--arrival-trace", str(trace),
             "--batch-size", "4", "--group-batches", "1", "--max-wait", "5",
         ])
         assert code == 0
