@@ -504,6 +504,11 @@ class ClusterConfig:
         expert_slots_per_replica: residency slots per replica (0 means
             derive from each replica's placement plan).
         prompt_quantum: prompt-length bucket for group-timing memoization.
+        engine: simulation engine — ``serial`` (reference event loop),
+            ``batched`` (group-granular scan), or ``sharded``
+            (multiprocess scan); all three are bit-identical (see
+            :func:`repro.validation.run_cluster_differential`).
+        jobs: worker processes for the sharded engine.
     """
 
     replicas: int = 4
@@ -516,6 +521,8 @@ class ClusterConfig:
     partition_experts: bool = True
     expert_slots_per_replica: int = 0
     prompt_quantum: int = 64
+    engine: str = "serial"
+    jobs: int = 1
 
     def to_dict(self) -> dict:
         """Plain-JSON form (``envs`` as a list)."""
@@ -530,6 +537,8 @@ class ClusterConfig:
             "partition_experts": self.partition_experts,
             "expert_slots_per_replica": self.expert_slots_per_replica,
             "prompt_quantum": self.prompt_quantum,
+            "engine": self.engine,
+            "jobs": self.jobs,
         }
 
     @classmethod
@@ -588,6 +597,12 @@ class ClusterConfig:
                 self.expert_slots_per_replica >= 0,
                 "must be >= 0 (0: derive from placement)",
             ),
+            (
+                "engine",
+                self.engine in ("serial", "batched", "sharded"),
+                "must be one of: serial, batched, sharded",
+            ),
+            ("jobs", self.jobs >= 1, "must be >= 1"),
         )
         for key, ok, message in checks:
             if not ok:

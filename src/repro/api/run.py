@@ -163,7 +163,12 @@ def run_pipeline(run: RunConfig):
 
 
 def run_cluster(
-    run: RunConfig, *, shared_cache: dict | None = None, requests: list | None = None
+    run: RunConfig,
+    *,
+    shared_cache: dict | None = None,
+    requests: list | None = None,
+    engine: str | None = None,
+    jobs: int | None = None,
 ):
     """Execute a multi-replica serving run end to end.
 
@@ -174,6 +179,10 @@ def run_cluster(
         requests: a pre-built request stream (default: generated from
             the config via :func:`build_requests`); pass one when the
             caller also needs the stream, to avoid re-generating it.
+        engine: simulation engine override (default: the config's
+            ``cluster.engine``); all engines are bit-identical, see
+            :mod:`repro.cluster.engines`.
+        jobs: sharded-engine worker override (default: ``cluster.jobs``).
 
     Returns:
         The :class:`~repro.cluster.report.ClusterReport`.
@@ -199,4 +208,8 @@ def run_cluster(
             expert_slots_per_replica=cluster.expert_slots_per_replica or None,
         ),
     )
-    return simulator.run(requests)
+    return simulator.run(
+        requests,
+        engine=engine if engine is not None else cluster.engine,
+        jobs=jobs if jobs is not None else cluster.jobs,
+    )

@@ -334,6 +334,8 @@ def cmd_compare(args) -> int:
 
 def cmd_serve(args) -> int:
     replay = args.arrival_trace
+    # --jobs > 1 implies the sharded engine unless --engine pinned one.
+    engine = args.engine or ("sharded" if args.jobs > 1 else "serial")
     tree = {
         "scenario": scenario_dict_from_args(args, n=1),
         "system": {"name": "klotski", "options": {}},
@@ -344,6 +346,8 @@ def cmd_serve(args) -> int:
             "group_batches": args.group_batches,
             "max_wait_s": args.max_wait,
             "slo_s": args.slo,
+            "engine": engine,
+            "jobs": args.jobs,
         },
         "serve": {
             "arrival": "trace" if replay else args.arrival,
@@ -486,6 +490,70 @@ def _clear_perf_memos() -> None:
     clear_group_timing_memo()
 
 
+# The fleet-scale serving cell (ISSUE 7): one million requests across a
+# 64-replica fleet, timed through the serial event loop and the sharded
+# scan so BENCH.json tracks both the specification's and the fast
+# engine's throughput. Round-robin keeps the stream plannable (the scans'
+# fast path); the rate is high enough that groups fill under load.
+_BENCH_CLUSTER_PARAMS = {
+    "requests": 1_000_000,
+    "replicas": 64,
+    "router": "round-robin",
+    "rate_per_s": 2000.0,
+    "group_batches": 2,
+    "max_wait_s": 5.0,
+}
+
+
+def _bench_cluster(num_requests: int, num_replicas: int) -> dict:
+    """Time the fleet-scale cluster cell: stream build + serial + sharded.
+
+    Each engine starts from cold memos and a fresh fleet on the *same*
+    request stream, so the two timings measure exactly the work the
+    differential harness proves equivalent.
+    """
+    import os
+
+    from repro.api.run import build_requests, run_cluster
+
+    params = dict(_BENCH_CLUSTER_PARAMS)
+    params["requests"] = num_requests
+    params["replicas"] = num_replicas
+    tree = {
+        "scenario": {
+            "model": "mixtral-8x7b", "env": "env1", "batch_size": 16,
+            "prompt_len": 64, "gen_len": 16, "seed": 7,
+        },
+        "system": {"name": "klotski", "options": {}},
+        "cluster": {
+            "replicas": num_replicas,
+            "envs": [],
+            "router": params["router"],
+            "group_batches": params["group_batches"],
+            "max_wait_s": params["max_wait_s"],
+            "slo_s": 60.0,
+        },
+        "serve": {
+            "arrival": "poisson",
+            "requests": num_requests,
+            "rate_per_s": params["rate_per_s"],
+        },
+    }
+    config = RunConfig.from_dict(tree)
+    t0 = time.perf_counter()
+    requests = build_requests(config)
+    build_s = time.perf_counter() - t0
+    jobs = max(1, min(8, os.cpu_count() or 1))
+    params["jobs"] = jobs
+    cell = {"params": params, "build_s": round(build_s, 4)}
+    for engine in ("serial", "sharded"):
+        _clear_perf_memos()
+        t0 = time.perf_counter()
+        run_cluster(config, requests=requests, engine=engine, jobs=jobs)
+        cell[f"{engine}_s"] = round(time.perf_counter() - t0, 4)
+    return cell
+
+
 # The paper's full-scale fig10 operating point (Mixtral-8x7B on Env1,
 # bs = 64, n = 15, gen = 32) — the perf-smoke's end-to-end reference cell.
 _BENCH_FULLSCALE_PARAMS = {
@@ -581,6 +649,11 @@ def _compare_bench(payload: dict, baseline: dict, tolerance: float) -> dict:
                     base_full[key] * 1e3,
                     full[key] * 1e3,
                 )
+    clus, base_clus = payload.get("cluster"), baseline.get("cluster")
+    if clus and base_clus:
+        for key in ("serial_s", "sharded_s"):
+            if key in clus and key in base_clus:
+                add(f"cluster.{key}", base_clus[key] * 1e3, clus[key] * 1e3)
     return {
         "tolerance": tolerance,
         "rows": rows,
@@ -641,6 +714,18 @@ def cmd_bench(args) -> int:
             print(
                 f"fullscale_fig10: cold {cold_s:.3f} s, "
                 f"warm (shared routing) {warm_s:.3f} s"
+            )
+    if args.cluster:
+        cell = _bench_cluster(args.cluster_requests, args.cluster_replicas)
+        payload["cluster"] = cell
+        if not args.json:
+            print(
+                f"cluster ({cell['params']['requests']} requests / "
+                f"{cell['params']['replicas']} replicas): "
+                f"build {cell['build_s']:.3f} s, "
+                f"serial {cell['serial_s']:.3f} s, "
+                f"sharded {cell['sharded_s']:.3f} s "
+                f"(jobs {cell['params']['jobs']})"
             )
     if args.baseline:
         try:
@@ -834,6 +919,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="partial-group dispatch deadline (s)")
     p.add_argument("--slo", type=float, default=120.0,
                    help="latency SLO for goodput accounting (s)")
+    p.add_argument(
+        "--engine", default=None, choices=["serial", "batched", "sharded"],
+        help="simulation engine (bit-identical results; default: serial, "
+        "or sharded when --jobs > 1)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sharded engine",
+    )
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_serve)
 
@@ -908,6 +1002,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--skip-full-cell", action="store_true",
         help="skip the full-scale fig10 reference cell",
+    )
+    p.add_argument(
+        "--cluster", action="store_true",
+        help="also time the fleet-scale cluster cell "
+        "(serial + sharded engines on one request stream)",
+    )
+    p.add_argument(
+        "--cluster-requests", type=int,
+        default=_BENCH_CLUSTER_PARAMS["requests"], metavar="N",
+        help="cluster cell stream length (default: 1000000)",
+    )
+    p.add_argument(
+        "--cluster-replicas", type=int,
+        default=_BENCH_CLUSTER_PARAMS["replicas"], metavar="N",
+        help="cluster cell fleet size (default: 64)",
     )
     p.add_argument(
         "--baseline",

@@ -8,7 +8,15 @@ up into a :class:`ClusterReport` with TTFT/latency percentiles, goodput
 under an SLO, per-replica utilization, and cost-per-token.
 """
 
-from repro.cluster.events import ARRIVAL, COMPLETION, DEADLINE, Event, EventQueue
+from repro.cluster.engines import ENGINES
+from repro.cluster.events import (
+    ARRIVAL,
+    COMPLETION,
+    DEADLINE,
+    KIND_PRIORITY,
+    Event,
+    EventQueue,
+)
 from repro.cluster.replica import (
     DispatchedGroup,
     GroupTiming,
@@ -43,6 +51,8 @@ __all__ = [
     "ARRIVAL",
     "COMPLETION",
     "DEADLINE",
+    "ENGINES",
+    "KIND_PRIORITY",
     "Event",
     "EventQueue",
     "DispatchedGroup",

@@ -1,11 +1,23 @@
 """Discrete-event core of the cluster simulator.
 
-One binary heap carries all three event kinds, ordered by (time, sequence):
+One binary heap carries all three event kinds, ordered by the canonical
+``(time, kind, seq)`` key:
 
 * ``ARRIVAL``   — a request enters the cluster and is routed to a replica;
 * ``DEADLINE``  — a queued request's batching wait bound expires, forcing
   dispatch of a partial group (``oldest.arrival_s + max_wait_s``);
 * ``COMPLETION`` — a dispatched batch group finishes on its replica.
+
+Simultaneous events (equal timestamps) order by kind first — completions
+before arrivals before deadlines — then FIFO by sequence number within a
+kind. The kind ranking encodes the simulator's instantaneous semantics:
+a group finishing at time *t* releases its replica's load before any
+request arriving at *t* is routed (so load-aware routers see the freed
+capacity), and an arrival at *t* may complete a group before a deadline
+at *t* forces a partial dispatch. Before this key existed the tie order
+depended on heap insertion history, which made the serial loop's output
+incomparable to the batched/sharded engines that schedule the same
+events in a different order (see :mod:`repro.cluster.engines`).
 
 Deadline events are scheduled eagerly (one per enqueued request) and
 validated lazily when popped: a stale deadline — its request already
@@ -24,33 +36,43 @@ ARRIVAL = "arrival"
 DEADLINE = "deadline"
 COMPLETION = "completion"
 
+# Canonical same-timestamp ranking (see module docstring). The batched
+# and sharded engines reproduce exactly this order without a heap, which
+# is what makes their reports byte-identical to the serial loop's.
+KIND_PRIORITY = {COMPLETION: 0, ARRIVAL: 1, DEADLINE: 2}
+
 
 @dataclass(order=True)
 class Event:
-    """One scheduled simulator event; ordering key is (time, seq).
+    """One scheduled simulator event; ordering key is (time, kind, seq).
 
     Attributes:
         time: simulation timestamp (seconds).
-        seq: FIFO tie-breaker within a timestamp.
+        priority: kind rank within a timestamp (:data:`KIND_PRIORITY`).
+        seq: FIFO tie-breaker within a (timestamp, kind) class.
         kind: event type (ARRIVAL / DEADLINE / COMPLETION).
         payload: event-specific data (request, replica id, ...).
     """
 
     time: float
+    priority: int
     seq: int
     kind: str = field(compare=False)
     payload: Any = field(compare=False, default=None)
 
 
 class EventQueue:
-    """Time-ordered event heap with FIFO tie-breaking."""
+    """Time-ordered event heap with (kind, FIFO) tie-breaking."""
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
 
     def push(self, time: float, kind: str, payload: Any = None) -> None:
-        heapq.heappush(self._heap, Event(time, next(self._counter), kind, payload))
+        heapq.heappush(
+            self._heap,
+            Event(time, KIND_PRIORITY[kind], next(self._counter), kind, payload),
+        )
 
     def pop(self) -> Event:
         return heapq.heappop(self._heap)

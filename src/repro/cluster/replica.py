@@ -36,10 +36,17 @@ from repro.systems import InferenceSystem
 # share one cache instead of re-simulating N identical groups.
 _GROUP_TIMING_MEMO: dict = {}
 
+# Process-wide resident-expert memo. Residency derivation runs a full
+# placement plan; a homogeneous 64-replica fleet would otherwise solve
+# the identical plan 64 times before a single request is simulated.
+_RESIDENCY_MEMO: dict = {}
+
 
 def clear_group_timing_memo() -> None:
-    """Drop the process-wide group-timing memo (test/benchmark hygiene)."""
+    """Drop the process-wide group-timing and residency memos
+    (test/benchmark hygiene)."""
     _GROUP_TIMING_MEMO.clear()
+    _RESIDENCY_MEMO.clear()
 
 
 @dataclass
@@ -134,7 +141,9 @@ class Replica:
 
         An expert index counts as resident when at least half of its
         per-layer tensors land in VRAM under the replica's own placement
-        plan for a full batch group.
+        plan for a full batch group. The result is memoized process-wide
+        (the plan is a pure function of the scenario and batching), so
+        homogeneous fleets plan once, not once per replica.
         """
         workload = Workload(
             self.batching.batch_size,
@@ -142,6 +151,27 @@ class Replica:
             self.scenario.workload.prompt_len,
             self.scenario.workload.gen_len,
         )
+        scenario = self.scenario
+        key = (
+            scenario.hardware,
+            scenario.model,
+            self.system.cache_key(),
+            scenario.seed,
+            scenario.skew,
+            scenario.correlation,
+            scenario.prefill_token_cap,
+            workload,
+        )
+        cached = _RESIDENCY_MEMO.get(key)
+        if cached is not None:
+            count("memo.residency.hit")
+            return cached
+        count("memo.residency.miss")
+        result = self._derive_resident_experts(workload)
+        _RESIDENCY_MEMO[key] = result
+        return result
+
+    def _derive_resident_experts(self, workload: Workload) -> frozenset[int]:
         try:
             plan = self.system.make_placement(
                 self.scenario.with_workload(workload), workload

@@ -36,6 +36,24 @@ class Router:
     ) -> Replica:
         raise NotImplementedError
 
+    def plan_assignments(
+        self, requests: list[Request], replicas: list[Replica]
+    ) -> list[int] | None:
+        """Precompute the replica index for every request, or ``None``.
+
+        The batched and sharded engines (:mod:`repro.cluster.engines`) can
+        only partition work per replica when routing is independent of
+        simulated load — i.e. when the sequence of :meth:`choose` results
+        is a pure function of the arrival-sorted request stream. A router
+        that can prove this returns the exact assignment the serial event
+        loop would produce, one replica index per request in
+        arrival-sorted order, and must leave its own state as if
+        :meth:`choose` had been called once per request. Load-coupled
+        policies return ``None`` (the default), which makes the engines
+        fall back to an in-order event walk.
+        """
+        return None
+
 
 @register_router("round-robin")
 class RoundRobinRouter(Router):
@@ -52,6 +70,15 @@ class RoundRobinRouter(Router):
         replica = replicas[self._next % len(replicas)]
         self._next += 1
         return replica
+
+    def plan_assignments(
+        self, requests: list[Request], replicas: list[Replica]
+    ) -> list[int] | None:
+        """Rotation is load-oblivious: assignment i is just ``(next + i) % R``."""
+        start, n = self._next, len(replicas)
+        plan = [(start + i) % n for i in range(len(requests))]
+        self._next += len(requests)
+        return plan
 
 
 @register_router("least-outstanding")
@@ -100,6 +127,35 @@ class ExpertAffinityRouter(Router):
         if best.outstanding() - fallback.outstanding() > self.slack:
             return fallback
         return best
+
+    def plan_assignments(
+        self, requests: list[Request], replicas: list[Replica]
+    ) -> list[int] | None:
+        """Plannable only when affinity provably decides every choice.
+
+        Two conditions make the load terms vanish: ``slack`` at least the
+        stream length (an affine replica's backlog can never exceed the
+        number of requests routed so far, so the overload fallback can
+        never fire), and every request's hot expert resident on *exactly*
+        one replica (so the affine minimum is a singleton, independent of
+        ``outstanding()``). Partitioned fleets with pinned hot experts
+        satisfy both; anything else routes through load and returns None.
+        """
+        if self.slack < len(requests):
+            return None
+        owners: dict[int, int] = {}
+        for i, replica in enumerate(replicas):
+            for expert in replica.resident_experts:
+                owners[expert] = -1 if expert in owners else i
+        plan = []
+        for request in requests:
+            if request.hot_expert is None:
+                return None
+            owner = owners.get(request.hot_expert)
+            if owner is None or owner < 0:
+                return None
+            plan.append(owner)
+        return plan
 
 
 def make_router(name: str, **options) -> Router:

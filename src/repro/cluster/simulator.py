@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 from repro.cluster.events import ARRIVAL, COMPLETION, DEADLINE, EventQueue
 from repro.cluster.replica import DispatchedGroup, Replica
-from repro.cluster.report import ClusterReport, ReplicaStats, RequestRecord
+from repro.cluster.report import ClusterReport, ReplicaStats, make_record
 from repro.cluster.routers import Router
 from repro.hardware.spec import HardwareSpec
 from repro.model.config import ModelConfig
@@ -193,13 +193,45 @@ class ClusterSimulator:
 
     # ---- event loop -------------------------------------------------------
 
-    def run(self, requests: list[Request]) -> ClusterReport:
-        """Simulate the stream to completion and aggregate the report."""
+    def run(
+        self,
+        requests: list[Request],
+        *,
+        engine: str = "serial",
+        jobs: int = 1,
+    ) -> ClusterReport:
+        """Simulate the stream to completion and aggregate the report.
+
+        Args:
+            requests: the request stream (any order; sorted internally).
+            engine: ``serial`` (the reference event loop), ``batched``
+                (group-granular per-replica scan), or ``sharded`` (the
+                scans across a ``multiprocessing`` pool). The fast
+                engines produce bit-identical reports — see
+                :mod:`repro.cluster.engines` and
+                :func:`repro.validation.run_cluster_differential`.
+            jobs: worker processes for the sharded engine (ignored
+                otherwise).
+
+        Note: a simulator instance accumulates replica state across
+        ``run`` calls; build a fresh fleet per run when comparing
+        engines or streams.
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
         with span(
             "cluster.run",
-            {"replicas": len(self.replicas), "requests": len(requests)},
+            {
+                "replicas": len(self.replicas),
+                "requests": len(requests),
+                "engine": engine,
+            },
         ):
-            return self._run(requests)
+            if engine == "serial":
+                return self._run(requests)
+            from repro.cluster.engines import run_engine
+
+            return run_engine(self, requests, engine=engine, jobs=jobs)
 
     def _run(self, requests: list[Request]) -> ClusterReport:
         report = ClusterReport(router=self.router.name, slo_s=self.config.slo_s)
@@ -265,13 +297,13 @@ class ClusterSimulator:
     ) -> None:
         for request in group.requests:
             report.records.append(
-                RequestRecord(
-                    request=request,
-                    replica_id=replica.replica_id,
-                    dispatch_s=group.dispatch_s,
-                    start_s=group.start_s,
-                    completion_s=group.completion_s,
-                    ttft_s=group.start_s + group.prefill_s - request.arrival_s,
+                make_record(
+                    request,
+                    replica.replica_id,
+                    group.dispatch_s,
+                    group.start_s,
+                    group.completion_s,
+                    group.start_s + group.prefill_s - request.arrival_s,
                 )
             )
 

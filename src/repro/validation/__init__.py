@@ -10,6 +10,9 @@ The correctness harness every refactor and optimization PR leans on:
 * :mod:`repro.validation.differential` — run one schedule under both
   the legacy and compiled executor engines and diff every observable,
   including OOM error payloads;
+* :mod:`repro.validation.cluster_differential` — run one cluster config
+  under the serial, batched, and sharded fleet engines and diff the
+  reports bit-for-bit (records, counters, telemetry, percentiles);
 * :mod:`repro.validation.fuzz` — seeded random evaluation points
   (models, machines, workloads, systems, fleets, arrival processes)
   pushed through the checkers above; surfaced as
@@ -19,6 +22,11 @@ The correctness harness every refactor and optimization PR leans on:
   refresh flow.
 """
 
+from repro.validation.cluster_differential import (
+    ClusterDifferentialResult,
+    diff_cluster_reports,
+    run_cluster_differential,
+)
 from repro.validation.differential import (
     DifferentialResult,
     diff_timelines,
@@ -28,6 +36,7 @@ from repro.validation.fuzz import FuzzConfig, FuzzReport, run_fuzz
 from repro.validation.goldens import (
     GoldenStore,
     snapshot_cluster,
+    snapshot_fleet,
     snapshot_schedule,
     snapshot_timeline,
 )
@@ -40,6 +49,9 @@ __all__ = [
     "DifferentialResult",
     "diff_timelines",
     "run_differential",
+    "ClusterDifferentialResult",
+    "diff_cluster_reports",
+    "run_cluster_differential",
     "FuzzConfig",
     "FuzzReport",
     "run_fuzz",
@@ -47,4 +59,5 @@ __all__ = [
     "snapshot_timeline",
     "snapshot_schedule",
     "snapshot_cluster",
+    "snapshot_fleet",
 ]

@@ -21,9 +21,11 @@ Two case families:
   registry router, adversarial hot-expert skews) serving a random
   arrival process (Poisson, bursty MMPP, or trace replay), all encoded
   in the config's ``cluster``/``serve`` sections. The report is checked
-  against the cluster conservation/causality/accounting invariants, and
-  the whole simulation is re-run from scratch to prove determinism
-  under a fixed seed.
+  against the cluster conservation/causality/accounting invariants, the
+  whole simulation is re-run from scratch to prove determinism under a
+  fixed seed, and (in ``both`` engine mode) the serial, batched, and
+  sharded cluster engines are diffed bit-for-bit through
+  :mod:`repro.validation.cluster_differential`.
 
 The generated models/machines are deliberately tiny (a case runs in tens
 of milliseconds) but structurally adversarial: dense and MoE models,
@@ -513,13 +515,20 @@ def random_cluster_run_config(
     return RunConfig(scenario=scenario, cluster=cluster, serve=serve)
 
 
-def run_cluster_case(case_seed: int, report: FuzzReport, label: str = "") -> None:
+def run_cluster_case(
+    case_seed: int, report: FuzzReport, label: str = "", engine: str = "both"
+) -> None:
     """Run one cluster case (invariants + determinism) into ``report``.
 
     Args:
         case_seed: deterministic seed of this case.
         report: accumulator updated in place.
         label: replay coordinates prefixed to failure tags.
+        engine: ``both`` additionally runs the serial/batched/sharded
+            cluster engines through
+            :func:`~repro.validation.run_cluster_differential` (sharded
+            in-process, to keep a case in the tens-of-milliseconds
+            budget); any other value skips the cross-engine pass.
     """
     rng = np.random.default_rng(case_seed)
     config = random_cluster_run_config(rng, case_seed)
@@ -559,6 +568,18 @@ def run_cluster_case(case_seed: int, report: FuzzReport, label: str = "") -> Non
     ):
         report.record(tag, config, diffs=["re-run produced a different report"])
 
+    if engine == "both":
+        # Cross-engine pass: the batched and sharded fleet engines must
+        # reproduce the serial report bit-for-bit on this same config.
+        from repro.validation.cluster_differential import (
+            run_cluster_differential,
+        )
+
+        result = run_cluster_differential(
+            config, jobs=1, shared_cache={}, requests=requests
+        )
+        report.record(tag, config, diffs=result.diffs, engine=engine)
+
 
 def run_fuzz(config: FuzzConfig) -> FuzzReport:
     """Run a fuzzing campaign.
@@ -581,7 +602,7 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
         # --fuzz count past the failing case index reruns the case.
         label = f"case {i} of --seed {config.seed}"
         if (i + 1) % config.cluster_every == 0:
-            run_cluster_case(case_seed, report, label)
+            run_cluster_case(case_seed, report, label, engine=config.engine)
         else:
             run_pipeline_case(case_seed, config.engine, report, label)
     return report

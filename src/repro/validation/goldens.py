@@ -157,6 +157,80 @@ def snapshot_cluster(report: ClusterReport) -> dict:
     return payload
 
 
+def snapshot_fleet(report: ClusterReport, *, stride: int = 1000) -> dict:
+    """Summarize a fleet-scale cluster report for golden comparison.
+
+    :func:`snapshot_cluster` pins small reports through one canonical
+    serialization of the whole dict; at fleet scale (10^4..10^6 records)
+    that pass costs seconds and hides *where* a drift happened. This
+    variant digests the per-record lifecycle arrays column by column —
+    still pinning every op bit-for-bit — and inlines every ``stride``-th
+    record verbatim, so a digest move comes with concrete drifted
+    values to stare at.
+
+    Args:
+        report: the simulator's aggregate result.
+        stride: downsampling step for the inlined records.
+
+    Returns:
+        A JSON-compatible snapshot with a content-addressing ``digest``.
+    """
+    stride = max(1, stride)
+    records = report.records
+    columns = {
+        "request_ids": np.array(
+            [r.request.request_id for r in records], dtype=np.int64
+        ),
+        "replica_ids": np.array([r.replica_id for r in records], dtype=np.int64),
+        "dispatch": np.array([r.dispatch_s for r in records], dtype=np.float64),
+        "start": np.array([r.start_s for r in records], dtype=np.float64),
+        "completion": np.array(
+            [r.completion_s for r in records], dtype=np.float64
+        ),
+        "ttft": np.array([r.ttft_s for r in records], dtype=np.float64),
+    }
+    sampled = [
+        {
+            "index": i,
+            "request_id": records[i].request.request_id,
+            "replica_id": records[i].replica_id,
+            "dispatch_s": repr(records[i].dispatch_s),
+            "start_s": repr(records[i].start_s),
+            "completion_s": repr(records[i].completion_s),
+            "ttft_s": repr(records[i].ttft_s),
+        }
+        for i in range(0, len(records), stride)
+    ]
+    replicas = canonical_json(
+        _floats_to_repr(
+            [replica.to_dict(report.makespan_s) for replica in report.replicas]
+        )
+    )
+    payload = {
+        "kind": "fleet",
+        "router": report.router,
+        "num_requests": len(records),
+        "num_replicas": len(report.replicas),
+        "stride": stride,
+        "makespan_s": repr(report.makespan_s),
+        "throughput_tok_s": repr(report.throughput),
+        "goodput_tok_s": repr(report.goodput),
+        "p50_latency_s": repr(report.percentile_latency(50)),
+        "p95_latency_s": repr(report.percentile_latency(95)),
+        "p99_latency_s": repr(report.percentile_latency(99)),
+        "p95_ttft_s": repr(report.percentile_ttft(95)),
+        "expert_misses": report.expert_misses,
+        "counters": dict(sorted(report.counters.items())),
+        "columns_sha256": {
+            name: _array_digest(arr) for name, arr in sorted(columns.items())
+        },
+        "replicas_sha256": hashlib.sha256(replicas.encode()).hexdigest(),
+        "sampled_records": sampled,
+    }
+    payload["digest"] = digest(payload)
+    return payload
+
+
 def _floats_to_repr(obj):
     """Recursively repr() floats so digests are bit-exact, not str()-lossy."""
     if isinstance(obj, float):

@@ -18,7 +18,8 @@ EXPECTED_SURFACE = {
     "ARRIVALS": "Registry",
     "ClusterConfig": "dataclass(replicas, envs, router, router_options, "
                      "group_batches, max_wait_s, slo_s, partition_experts, "
-                     "expert_slots_per_replica, prompt_quantum)",
+                     "expert_slots_per_replica, prompt_quantum, engine, "
+                     "jobs)",
     "HARDWARE_PRESETS": "Registry",
     "MODEL_PRESETS": "Registry",
     "ROUTERS": "Registry",
@@ -53,7 +54,8 @@ EXPECTED_SURFACE = {
     "register_system": "def(name: 'str') -> 'Callable'",
     "router_names": "def() -> 'list[str]'",
     "run_cluster": "def(run: 'RunConfig', *, shared_cache: 'dict | None' = None,"
-                   " requests: 'list | None' = None)",
+                   " requests: 'list | None' = None, engine: 'str | None' ="
+                   " None, jobs: 'int | None' = None)",
     "run_config_from_args": "def(args, *, n: 'int' = 1, system: 'str' = "
                             "'klotski', system_options: 'dict | None' = None)"
                             " -> 'RunConfig'",

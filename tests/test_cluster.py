@@ -6,6 +6,8 @@ import pytest
 
 from repro.cluster import (
     ARRIVAL,
+    COMPLETION,
+    DEADLINE,
     ClusterConfig,
     ClusterSimulator,
     EventQueue,
@@ -18,6 +20,7 @@ from repro.cluster import (
 from repro.serving import (
     ArrivalConfig,
     BatchingConfig,
+    Request,
     assign_hot_experts,
     generate_requests,
 )
@@ -70,6 +73,75 @@ class TestEventQueue:
         assert not q and len(q) == 0
         q.push(0.0, ARRIVAL)
         assert q and len(q) == 1
+
+    def test_kind_priority_at_equal_time(self):
+        # At one instant: completions release load first, arrivals may
+        # fill a group next, deadlines fire last — push order must not
+        # matter.
+        q = EventQueue()
+        q.push(5.0, ARRIVAL, "arrival")
+        q.push(5.0, DEADLINE, "deadline")
+        q.push(5.0, COMPLETION, "completion")
+        assert [q.pop().payload for _ in range(3)] == [
+            "completion", "arrival", "deadline",
+        ]
+
+    def test_colliding_timestamps_order_by_time_kind_seq(self):
+        q = EventQueue()
+        q.push(2.0, DEADLINE, "d2")
+        q.push(1.0, ARRIVAL, "a1")
+        q.push(2.0, COMPLETION, "c2")
+        q.push(1.0, COMPLETION, "c1")
+        q.push(2.0, ARRIVAL, "a2-first")
+        q.push(2.0, ARRIVAL, "a2-second")
+        assert [q.pop().payload for _ in range(6)] == [
+            "c1", "a1", "c2", "a2-first", "a2-second", "d2",
+        ]
+
+
+class TestCollidingTimestamps:
+    """Simulator-level regression for the (time, kind, seq) heap key.
+
+    When an arrival lands at *exactly* a completion's timestamp, the
+    completion must be processed first so the freed replica is visible
+    to load-aware routing. Under the old FIFO tie-break the arrival
+    (pushed up front, lower seq) won the tie and routed to a stale view
+    of the fleet.
+    """
+
+    def _fleet(self, small_mixtral, hw):
+        replicas = build_cluster(
+            small_mixtral,
+            [hw, hw],
+            BatchingConfig(batch_size=1, group_batches=1, max_wait_s=20.0),
+            prompt_len=32,
+            gen_len=4,
+            prompt_quantum=16,
+        )
+        return ClusterSimulator(
+            replicas, make_router("least-outstanding"), ClusterConfig(slo_s=60.0)
+        )
+
+    def test_completion_frees_replica_before_colliding_arrival(
+        self, small_mixtral, hw
+    ):
+        # Capacity-1 groups dispatch on arrival: request 0 (long prompt)
+        # occupies replica 0, request 1 (short) occupies replica 1.
+        long_req = Request(0, 0.0, 512, 4)
+        short_req = Request(1, 0.0, 32, 4)
+        probe = self._fleet(small_mixtral, hw).run([long_req, short_req])
+        done = {r.request.request_id: r.completion_s for r in probe.records}
+        assert done[1] < done[0], "short request should finish first"
+
+        # Request 2 arrives at exactly replica 1's completion instant.
+        # The completion event must process first, so least-outstanding
+        # sees replica 1 idle (0 outstanding) vs replica 0 busy (1).
+        collider = Request(2, done[1], 32, 4)
+        report = self._fleet(small_mixtral, hw).run(
+            [long_req, short_req, collider]
+        )
+        routed = {r.request.request_id: r.replica_id for r in report.records}
+        assert routed[2] == 1
 
 
 class TestRouters:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import RunConfig, run_cluster
 from repro.baselines import FlexGenSystem
 from repro.cluster import ClusterConfig, ClusterSimulator, build_cluster, make_router
 from repro.core.engine import KlotskiOptions, KlotskiSystem
@@ -25,6 +26,7 @@ from repro.validation import (
     check_cluster,
     check_timeline,
     snapshot_cluster,
+    snapshot_fleet,
     snapshot_schedule,
     snapshot_timeline,
 )
@@ -81,6 +83,38 @@ def _cluster_snapshot() -> dict:
     return {"cluster": snapshot_cluster(report)}
 
 
+def _fleet_snapshot(
+    *, router: str, arrival: str, engine: str, replicas: int, requests: int
+) -> dict:
+    """Fleet-scale serving golden: thousands of requests, fast engines.
+
+    The fast engines carry the golden on purpose — the differential
+    suite proves them bit-identical to the serial loop, so these pin the
+    canonical output at a scale the serial goldens cannot afford, and a
+    digest move in either place implicates simulation semantics, not a
+    particular engine.
+    """
+    config = RunConfig.from_dict(
+        {
+            "scenario": {
+                "model": "mixtral-8x7b", "env": "env1", "batch_size": 8,
+                "prompt_len": 64, "gen_len": 8, "seed": 11,
+            },
+            "system": {"name": "klotski", "options": {}},
+            "cluster": {
+                "replicas": replicas, "envs": ["env1", "env2"],
+                "router": router, "group_batches": 2, "max_wait_s": 2.0,
+                "slo_s": 60.0, "engine": engine, "jobs": 2,
+            },
+            "serve": {
+                "arrival": arrival, "requests": requests, "rate_per_s": 500.0,
+            },
+        }
+    )
+    report = run_cluster(config, shared_cache={})
+    return {"fleet": snapshot_fleet(report, stride=997)}
+
+
 GOLDEN_CASES = {
     "pipeline-klotski-small": lambda: _pipeline_snapshots(KlotskiSystem()),
     "pipeline-klotski-quantized-small": lambda: _pipeline_snapshots(
@@ -88,6 +122,14 @@ GOLDEN_CASES = {
     ),
     "pipeline-flexgen-small": lambda: _pipeline_snapshots(FlexGenSystem()),
     "cluster-affinity-2replica": _cluster_snapshot,
+    "fleet-roundrobin-poisson-16replica": lambda: _fleet_snapshot(
+        router="round-robin", arrival="poisson", engine="sharded",
+        replicas=16, requests=20_000,
+    ),
+    "fleet-affinity-bursty-8replica": lambda: _fleet_snapshot(
+        router="expert-affinity", arrival="bursty", engine="batched",
+        replicas=8, requests=20_000,
+    ),
 }
 
 

@@ -207,6 +207,25 @@ class TestBurstyArrivals:
         with pytest.raises(ValueError):
             BurstyConfig(switch_prob=0)
 
+    def test_empty_and_single_counts(self):
+        # Edge cases of the vectorized sampler: the prefix-XOR state
+        # chain slices [:-1]/[1:], which must degrade cleanly at 0 and 1.
+        assert generate_bursty(BurstyConfig(seed=2), 0) == []
+        (only,) = generate_bursty(BurstyConfig(seed=2), 1)
+        assert only.request_id == 0
+        assert only.arrival_s > 0.0
+
+    def test_first_arrival_starts_calm(self):
+        """State before the first arrival is always the calm state."""
+        config = BurstyConfig(
+            base_rate_per_s=1.0, burst_rate_per_s=1000.0, switch_prob=0.999,
+            seed=9,
+        )
+        first = generate_bursty(config, 2)[0]
+        # Calm-rate gap: exponential(1)/1.0 — overwhelmingly larger than
+        # any burst-rate gap (1/1000 scale).
+        assert first.arrival_s > 1e-3
+
 
 class TestTraceReplay:
     def test_from_records(self):
