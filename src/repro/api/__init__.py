@@ -6,8 +6,9 @@ its runs through this package:
 
 * **registries** (:mod:`repro.api.registry`) — string-keyed plugin
   registries for inference systems, cluster routers, arrival processes,
-  and model/hardware presets, with decorator registration
-  (``@register_system`` et al.) and typo-suggesting lookups;
+  model/hardware presets, and fault presets, with decorator
+  registration (``@register_system`` et al.) and typo-suggesting
+  lookups;
 * **the config tree** (:mod:`repro.api.config`) — :class:`RunConfig`
   (:class:`ScenarioConfig` + :class:`SystemConfig` + optional
   :class:`ClusterConfig`/:class:`ServeConfig`) with strict
@@ -47,6 +48,7 @@ from repro.api.cliargs import (
 )
 from repro.api.registry import (
     ARRIVALS,
+    FAULT_PRESETS,
     HARDWARE_PRESETS,
     MODEL_PRESETS,
     ROUTERS,
@@ -54,9 +56,11 @@ from repro.api.registry import (
     Registry,
     RegistryError,
     arrival_names,
+    fault_preset_names,
     hardware_preset_names,
     model_preset_names,
     register_arrivals,
+    register_fault_preset,
     register_hardware_preset,
     register_model_preset,
     register_router,
@@ -102,16 +106,19 @@ __all__ = [
     "ARRIVALS",
     "MODEL_PRESETS",
     "HARDWARE_PRESETS",
+    "FAULT_PRESETS",
     "register_system",
     "register_router",
     "register_arrivals",
     "register_model_preset",
     "register_hardware_preset",
+    "register_fault_preset",
     "system_names",
     "router_names",
     "arrival_names",
     "model_preset_names",
     "hardware_preset_names",
+    "fault_preset_names",
     # builders / runners
     "build_scenario",
     "build_system",

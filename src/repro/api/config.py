@@ -33,6 +33,7 @@ from typing import get_type_hints
 
 from repro.api.registry import (
     ARRIVALS,
+    FAULT_PRESETS,
     HARDWARE_PRESETS,
     MODEL_PRESETS,
     ROUTERS,
@@ -509,6 +510,15 @@ class ClusterConfig:
             (multiprocess scan); all three are bit-identical (see
             :func:`repro.validation.run_cluster_differential`).
         jobs: worker processes for the sharded engine.
+        faults: fault-injection model — a
+            :data:`~repro.api.registry.FAULT_PRESETS` name or an inline
+            :class:`~repro.cluster.faults.FaultConfig` dict; the empty
+            string (default) disables fault injection entirely. Active
+            fault configs force the faulted serial event loop regardless
+            of ``engine`` (see ``docs/robustness.md``).
+        retry: :class:`~repro.cluster.faults.RetryPolicy` overrides as a
+            dict (empty: the default policy); only consulted when
+            ``faults`` is active.
     """
 
     replicas: int = 4
@@ -523,6 +533,8 @@ class ClusterConfig:
     prompt_quantum: int = 64
     engine: str = "serial"
     jobs: int = 1
+    faults: str | dict = ""
+    retry: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """Plain-JSON form (``envs`` as a list)."""
@@ -539,6 +551,8 @@ class ClusterConfig:
             "prompt_quantum": self.prompt_quantum,
             "engine": self.engine,
             "jobs": self.jobs,
+            "faults": _copy_ref(self.faults),
+            "retry": _copy_ref(dict(self.retry)),
         }
 
     @classmethod
@@ -567,11 +581,22 @@ class ClusterConfig:
                         _join(path, key),
                         "expected a list of preset names or inline spec dicts",
                     )
-            elif key == "router_options":
+            elif key in ("router_options", "retry"):
                 if isinstance(value, dict):
                     kwargs[key] = dict(value)
                 else:
                     own.add(_join(path, key), "expected an options dict")
+            elif key == "faults":
+                if isinstance(value, str):
+                    kwargs[key] = value
+                elif isinstance(value, dict):
+                    kwargs[key] = dict(value)
+                else:
+                    own.add(
+                        _join(path, key),
+                        "expected a fault-preset name or an inline "
+                        "FaultConfig dict",
+                    )
             else:
                 kwargs[key] = _coerce(
                     value, scalars[key], _join(path, key), own, getattr(cls, key)
@@ -614,6 +639,30 @@ class ClusterConfig:
                     unknown_name_message("router", self.router, ROUTERS.names()),
                 )
             )
+        if isinstance(self.faults, str):
+            if self.faults and self.faults not in FAULT_PRESETS:
+                out.append(
+                    (
+                        _join(path, "faults"),
+                        unknown_name_message(
+                            "fault preset", self.faults, FAULT_PRESETS.names()
+                        ),
+                    )
+                )
+        else:
+            from repro.cluster.faults import FaultConfig
+
+            try:
+                FaultConfig.from_dict(dict(self.faults))
+            except (TypeError, ValueError) as exc:
+                out.append((_join(path, "faults"), str(exc)))
+        if self.retry:
+            from repro.cluster.faults import RetryPolicy
+
+            try:
+                RetryPolicy.from_dict(dict(self.retry))
+            except (TypeError, ValueError) as exc:
+                out.append((_join(path, "retry"), str(exc)))
         probe = Errors()
         for i, env in enumerate(self.envs):
             _resolve_hardware(env, _join(path, f"envs[{i}]"), probe)
@@ -623,6 +672,35 @@ class ClusterConfig:
     def build_router(self):
         """Instantiate the configured router through the registry."""
         return ROUTERS.get(self.router)(**self.router_options)
+
+    def resolve_faults(self):
+        """The configured :class:`~repro.cluster.faults.FaultConfig`.
+
+        Returns:
+            The resolved fault config, or ``None`` when ``faults`` is
+            the empty string (fault injection disabled).
+        """
+        from repro.cluster.faults import FaultConfig
+
+        if isinstance(self.faults, str):
+            if not self.faults:
+                return None
+            return FAULT_PRESETS.get(self.faults)()
+        return FaultConfig.from_dict(dict(self.faults))
+
+    def build_retry(self):
+        """The configured :class:`~repro.cluster.faults.RetryPolicy`.
+
+        Returns:
+            The policy built from the ``retry`` overrides, or ``None``
+            when no overrides are set (the simulator applies its
+            default policy under fault injection).
+        """
+        from repro.cluster.faults import RetryPolicy
+
+        if not self.retry:
+            return None
+        return RetryPolicy.from_dict(dict(self.retry))
 
     def resolve_environments(self, default_env) -> list:
         """One :class:`~repro.hardware.spec.HardwareSpec` per replica.

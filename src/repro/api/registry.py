@@ -166,7 +166,7 @@ class Registry:
 
 
 # ---------------------------------------------------------------------------
-# The five registries. Providers are the modules whose import registers
+# The six registries. Providers are the modules whose import registers
 # the built-in entries; anything else can add entries at import time via
 # the decorators below.
 
@@ -186,6 +186,8 @@ ARRIVALS = Registry("arrival process", providers=("repro.serving.requests",))
 MODEL_PRESETS = Registry("model preset", providers=("repro.model.config",))
 
 HARDWARE_PRESETS = Registry("hardware preset", providers=("repro.hardware.spec",))
+
+FAULT_PRESETS = Registry("fault preset", providers=("repro.cluster.faults",))
 
 
 def register_system(name: str) -> Callable:
@@ -244,6 +246,21 @@ def register_hardware_preset(name: str, spec) -> None:
     HARDWARE_PRESETS.register(name, spec)
 
 
+def register_fault_preset(name: str) -> Callable:
+    """Decorator: register a named :class:`~repro.cluster.faults.FaultConfig`.
+
+    Args:
+        name: the registry key ``ClusterConfig.faults`` / ``serve
+            --faults`` resolve.
+
+    Returns:
+        The decorator (registers the config factory and returns it
+        unchanged). Entries are zero-argument factories so presets stay
+        immutable at the registry level.
+    """
+    return FAULT_PRESETS.register(name)
+
+
 def system_names() -> list[str]:
     """Registered inference-system names."""
     return SYSTEMS.names()
@@ -267,3 +284,8 @@ def model_preset_names() -> list[str]:
 def hardware_preset_names() -> list[str]:
     """Registered hardware-preset names."""
     return HARDWARE_PRESETS.names()
+
+
+def fault_preset_names() -> list[str]:
+    """Registered fault-preset names."""
+    return FAULT_PRESETS.names()

@@ -207,6 +207,8 @@ def run_cluster(
             partition_experts=cluster.partition_experts,
             expert_slots_per_replica=cluster.expert_slots_per_replica or None,
         ),
+        faults=cluster.resolve_faults(),
+        retry=cluster.build_retry(),
     )
     return simulator.run(
         requests,

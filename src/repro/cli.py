@@ -332,10 +332,42 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _faults_from_args(args):
+    """Resolve ``serve --faults/--fault-seed`` into a ``cluster.faults`` value.
+
+    ``--faults`` takes a registered fault-preset name or an inline JSON
+    FaultConfig dict. ``--fault-seed`` re-seeds the plan without editing
+    the spec, so one preset fans out into many deterministic chaos runs.
+    """
+    spec = args.faults
+    if args.fault_seed is not None and not spec:
+        raise SystemExit("--fault-seed requires --faults")
+    if not spec:
+        return ""
+    if spec.lstrip().startswith("{"):
+        try:
+            value = json.loads(spec)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"--faults is not valid JSON: {exc}") from None
+    else:
+        value = spec
+    if args.fault_seed is not None:
+        if isinstance(value, str):
+            from repro.api.registry import FAULT_PRESETS
+
+            try:
+                value = FAULT_PRESETS.get(value)().to_dict()
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+        value["seed"] = args.fault_seed
+    return value
+
+
 def cmd_serve(args) -> int:
     replay = args.arrival_trace
     # --jobs > 1 implies the sharded engine unless --engine pinned one.
     engine = args.engine or ("sharded" if args.jobs > 1 else "serial")
+    faults = _faults_from_args(args)
     tree = {
         "scenario": scenario_dict_from_args(args, n=1),
         "system": {"name": "klotski", "options": {}},
@@ -348,6 +380,7 @@ def cmd_serve(args) -> int:
             "slo_s": args.slo,
             "engine": engine,
             "jobs": args.jobs,
+            "faults": faults,
         },
         "serve": {
             "arrival": "trace" if replay else args.arrival,
@@ -770,11 +803,13 @@ def cmd_validate(args) -> int:
     """Fuzz configs through the validation harness; exit 1 on failure."""
     from repro.validation import FuzzConfig, run_fuzz
 
+    chaos = getattr(args, "chaos", 0)
     config = FuzzConfig(
-        cases=args.fuzz,
+        cases=chaos if chaos > 0 else args.fuzz,
         seed=args.seed,
         engine=args.engine,
         cluster_every=args.cluster_every,
+        chaos=chaos > 0,
     )
     report = run_fuzz(config)
     if args.json:
@@ -928,6 +963,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the sharded engine",
     )
+    p.add_argument(
+        "--faults", default="",
+        help="fault injection: a fault-preset name (see docs/robustness.md) "
+        "or an inline FaultConfig JSON object; active faults force the "
+        "faulted serial event loop",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="override the fault schedule seed (requires --faults)",
+    )
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_serve)
 
@@ -1054,6 +1099,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cluster-every", type=int, default=4, metavar="K",
         help="every K-th case simulates a cluster instead of a pipeline",
+    )
+    p.add_argument(
+        "--chaos", type=int, default=0, metavar="N",
+        help="run N chaos cases instead: every case is a cluster run under "
+        "a fuzzed FaultConfig, checked for request conservation and "
+        "fault determinism (failures embed a replayable config blob)",
     )
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_validate)

@@ -79,10 +79,14 @@ ENGINES = ("serial", "batched", "sharded")
 _EPS = 1e-9  # matches the serial loop's deadline tolerance
 
 # Event-kind priorities, mirrored from repro.cluster.events.KIND_PRIORITY
-# (plain ints here so group tuples stay cheap to build and pickle).
+# (plain ints here so group tuples stay cheap to build and pickle). The
+# fast engines never see fault/control kinds — a simulator with an
+# active fault plan falls back to the faulted serial loop before
+# reaching this module — so only these three ranks are mirrored; their
+# relative order is what matters and matches the heap's.
 _P_COMPLETION = 0
-_P_ARRIVAL = 1
-_P_DEADLINE = 2
+_P_ARRIVAL = 8
+_P_DEADLINE = 9
 
 
 def run_engine(

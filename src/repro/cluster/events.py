@@ -1,12 +1,15 @@
 """Discrete-event core of the cluster simulator.
 
-One binary heap carries all three event kinds, ordered by the canonical
+One binary heap carries every event kind, ordered by the canonical
 ``(time, kind, seq)`` key:
 
 * ``ARRIVAL``   — a request enters the cluster and is routed to a replica;
 * ``DEADLINE``  — a queued request's batching wait bound expires, forcing
   dispatch of a partial group (``oldest.arrival_s + max_wait_s``);
-* ``COMPLETION`` — a dispatched batch group finishes on its replica.
+* ``COMPLETION`` — a dispatched batch group finishes on its replica;
+* fault/control kinds (``CRASH``/``RECOVER``/``JOIN``/``DRAIN``/
+  ``SLOW_START``/``SLOW_END``/``RETRY``) — scheduled by a compiled
+  :class:`~repro.cluster.faults.FaultPlan` and by the retry policy.
 
 Simultaneous events (equal timestamps) order by kind first — completions
 before arrivals before deadlines — then FIFO by sequence number within a
@@ -36,10 +39,36 @@ ARRIVAL = "arrival"
 DEADLINE = "deadline"
 COMPLETION = "completion"
 
+# Fault-injection event kinds (see :mod:`repro.cluster.faults`). They
+# ride the same heap with the same canonical key, so a fault schedule is
+# deterministic for a fixed seed exactly like the request schedule.
+CRASH = "crash"  # replica fail-stop; in-flight groups abort
+RECOVER = "recover"  # crashed replica rejoins the healthy set
+JOIN = "join"  # autoscale-up: replica starts serving at this time
+DRAIN = "drain"  # autoscale-down: stop admitting, requeue backlog
+SLOW_START = "slow-start"  # straggler window opens (service-time multiplier)
+SLOW_END = "slow-end"  # straggler window closes
+RETRY = "retry"  # a backed-off request re-enters routing
+
 # Canonical same-timestamp ranking (see module docstring). The batched
 # and sharded engines reproduce exactly this order without a heap, which
 # is what makes their reports byte-identical to the serial loop's.
-KIND_PRIORITY = {COMPLETION: 0, ARRIVAL: 1, DEADLINE: 2}
+# Fault/control events sit between completions and arrivals: a group
+# finishing at *t* still lands first, then the fleet's health changes,
+# then backed-off retries re-route, and only then are new arrivals at
+# *t* routed — so routers always see the post-fault healthy set.
+KIND_PRIORITY = {
+    COMPLETION: 0,
+    CRASH: 1,
+    RECOVER: 2,
+    JOIN: 3,
+    DRAIN: 4,
+    SLOW_START: 5,
+    SLOW_END: 6,
+    RETRY: 7,
+    ARRIVAL: 8,
+    DEADLINE: 9,
+}
 
 
 @dataclass(order=True)

@@ -123,6 +123,11 @@ class Replica:
         self.expert_misses = 0
         self.groups: list[DispatchedGroup] = []
         self.queue_depth_timeline: list[tuple[float, int]] = []
+        # Straggler service-time multiplier (1.0 = nominal). Set by the
+        # fault layer for the duration of a slowdown window; multiplying
+        # by the default 1.0 is an exact float identity, so fault-free
+        # runs stay bit-identical to pre-fault-layer reports.
+        self.slow_factor = 1.0
 
     # ---- identity ---------------------------------------------------------
 
@@ -271,7 +276,7 @@ class Replica:
         penalty = len(missing) * self.expert_fetch_time_s()
 
         start = max(now, self.free_at)
-        duration = timing.total_s + penalty
+        duration = (timing.total_s + penalty) * self.slow_factor
         self.free_at = start + duration
         self.busy_s += duration
         self.inflight += len(group)
@@ -281,7 +286,7 @@ class Replica:
             dispatch_s=now,
             start_s=start,
             completion_s=self.free_at,
-            prefill_s=timing.prefill_s + penalty,
+            prefill_s=(timing.prefill_s + penalty) * self.slow_factor,
             expert_misses=len(missing),
         )
         self.groups.append(dispatched)

@@ -30,13 +30,24 @@ DEFAULT_COST_PER_HOUR = 1.0
 class RequestRecord:
     """Lifecycle of one request through the cluster.
 
+    Every request terminates exactly once: ``completed`` (served),
+    ``shed`` (dropped by admission control before any execution), or
+    ``failed`` (retries exhausted after crashes/transient faults). For
+    non-completed outcomes the three timestamps all equal the terminal
+    decision time, so ``latency_s`` reads as time-in-system until the
+    drop. Fault-free runs only ever produce ``completed`` records.
+
     Attributes:
         request: the served request.
-        replica_id: replica that executed it.
+        replica_id: replica that executed it (-1: dropped before any
+            replica was chosen, e.g. shed with no healthy replica).
         dispatch_s: group committed to the replica's execution slot.
         start_s: machine actually began the group.
-        completion_s: request finished.
-        ttft_s: arrival -> first output token (start + group prefill).
+        completion_s: request finished (or terminal drop time).
+        ttft_s: arrival -> first output token (start + group prefill);
+            0.0 for non-completed outcomes.
+        outcome: ``completed`` | ``shed`` | ``failed``.
+        attempts: dispatch attempts consumed (1 when fault-free).
     """
 
     request: Request
@@ -45,6 +56,8 @@ class RequestRecord:
     start_s: float  # machine actually began the group
     completion_s: float
     ttft_s: float  # arrival -> first output token (start + group prefill)
+    outcome: str = "completed"
+    attempts: int = 1
 
     @property
     def latency_s(self) -> float:
@@ -62,6 +75,8 @@ def make_record(
     start_s: float,
     completion_s: float,
     ttft_s: float,
+    outcome: str = "completed",
+    attempts: int = 1,
 ) -> RequestRecord:
     """Fast :class:`RequestRecord` constructor for the simulation engines.
 
@@ -82,6 +97,8 @@ def make_record(
         start_s=start_s,
         completion_s=completion_s,
         ttft_s=ttft_s,
+        outcome=outcome,
+        attempts=attempts,
     )
     return record
 
@@ -100,6 +117,9 @@ class ReplicaStats:
         expert_misses: hot-expert requests served without residency.
         resident_experts: expert ids pinned in this replica's VRAM.
         queue_depth_timeline: (time, queue depth) samples.
+        up_time_s: billable serving time — makespan minus crash downtime,
+            clipped to the replica's join/drain window. ``None`` (the
+            fault-free default) means the full makespan.
     """
 
     replica_id: int
@@ -111,6 +131,7 @@ class ReplicaStats:
     expert_misses: int = 0
     resident_experts: tuple[int, ...] = ()
     queue_depth_timeline: list[tuple[float, int]] = field(default_factory=list)
+    up_time_s: float | None = None
 
     def utilization(self, makespan_s: float) -> float:
         if makespan_s <= 0:
@@ -121,7 +142,7 @@ class ReplicaStats:
         return max((d for _, d in self.queue_depth_timeline), default=0)
 
     def to_dict(self, makespan_s: float) -> dict:
-        return {
+        out = {
             "replica_id": self.replica_id,
             "hardware": self.hardware,
             "system": self.system,
@@ -136,6 +157,11 @@ class ReplicaStats:
                 [t, d] for t, d in self.queue_depth_timeline
             ],
         }
+        # Emitted only under fault injection so fault-free report dicts
+        # (and the fleet goldens that hash them) stay byte-identical.
+        if self.up_time_s is not None:
+            out["up_time_s"] = self.up_time_s
+        return out
 
 
 @dataclass
@@ -150,6 +176,10 @@ class ClusterReport:
         makespan_s: last completion time.
         counters: event-loop counts (arrivals, dispatches by trigger,
             completions), deterministic per request stream.
+        availability: fault-injection availability metrics (terminal
+            outcome counts, downtime seconds/windows per replica, fleet
+            availability, goodput under faults); empty — and never
+            serialized — on fault-free runs.
     """
 
     router: str
@@ -162,42 +192,86 @@ class ClusterReport:
     # process-wide memo counters, which live in the CLI manifest because
     # their hit/miss split depends on what ran earlier in the process.
     counters: dict = field(default_factory=dict)
+    # Fault-injection availability metrics (downtime windows, terminal
+    # outcome counts, ...). Empty — and never serialized — on fault-free
+    # runs, so existing goldens hash the exact same report dict.
+    availability: dict = field(default_factory=dict)
 
     # ---- latency ----------------------------------------------------------
 
+    def _metrics(self) -> dict:
+        """Arrays/sums over completed records, built once per record set.
+
+        ``percentile_*``, the mean properties, and ``to_dict`` otherwise
+        rebuild the full array from ``records`` on every call — quadratic
+        -ish in report rendering for million-request fleets. The cache is
+        an undeclared instance attribute, so dataclass ``__eq__`` (which
+        compares declared fields only) is unaffected; it is invalidated
+        by record-count changes, the only mutation the engines perform.
+        """
+        cache = self.__dict__.get("_metric_cache")
+        if cache is not None and cache["n"] == len(self.records):
+            return cache
+        completed = [r for r in self.records if r.outcome == "completed"]
+        latencies = np.array([r.latency_s for r in completed])
+        cache = {
+            "n": len(self.records),
+            "completed": completed,
+            "latencies": latencies,
+            "ttfts": np.array([r.ttft_s for r in completed]),
+            "tokens": sum(r.request.gen_len for r in completed),
+            "met": sum(1 for r in completed if r.latency_s <= self.slo_s),
+            "good_tokens": sum(
+                r.request.gen_len for r in completed if r.latency_s <= self.slo_s
+            ),
+        }
+        self.__dict__["_metric_cache"] = cache
+        return cache
+
+    def completed_records(self) -> list[RequestRecord]:
+        """Records that terminated as ``completed`` (all, fault-free)."""
+        return self._metrics()["completed"]
+
     def latencies(self) -> np.ndarray:
-        return np.array([r.latency_s for r in self.records])
+        """Latency array over completed records (cached; treat read-only)."""
+        return self._metrics()["latencies"]
 
     def ttfts(self) -> np.ndarray:
-        return np.array([r.ttft_s for r in self.records])
+        """TTFT array over completed records (cached; treat read-only)."""
+        return self._metrics()["ttfts"]
 
     def percentile_latency(self, q: float) -> float:
-        if not self.records:
+        arr = self.latencies()
+        if arr.size == 0:
             return 0.0
-        return float(np.percentile(self.latencies(), q))
+        return float(np.percentile(arr, q))
 
     def percentile_ttft(self, q: float) -> float:
-        if not self.records:
+        arr = self.ttfts()
+        if arr.size == 0:
             return 0.0
-        return float(np.percentile(self.ttfts(), q))
+        return float(np.percentile(arr, q))
 
     @property
     def mean_latency_s(self) -> float:
-        if not self.records:
+        arr = self.latencies()
+        if arr.size == 0:
             return 0.0
-        return float(self.latencies().mean())
+        return float(arr.mean())
 
     @property
     def mean_ttft_s(self) -> float:
-        if not self.records:
+        arr = self.ttfts()
+        if arr.size == 0:
             return 0.0
-        return float(self.ttfts().mean())
+        return float(arr.mean())
 
     # ---- throughput, goodput, cost ---------------------------------------
 
     @property
     def generated_tokens(self) -> int:
-        return sum(r.request.gen_len for r in self.records)
+        """Tokens actually generated (completed requests only)."""
+        return self._metrics()["tokens"]
 
     @property
     def throughput(self) -> float:
@@ -207,30 +281,39 @@ class ClusterReport:
 
     @property
     def slo_attainment(self) -> float:
-        """Fraction of requests whose end-to-end latency met the SLO."""
+        """Fraction of terminal requests that completed within the SLO.
+
+        Shed and failed requests count against attainment — a dropped
+        request never met its SLO — which is what makes this the
+        goodput-under-faults headline number.
+        """
         if not self.records:
             return 0.0
-        met = sum(1 for r in self.records if r.latency_s <= self.slo_s)
-        return met / len(self.records)
+        return self._metrics()["met"] / len(self.records)
 
     @property
     def goodput(self) -> float:
         """Tokens/s counting only requests that met the latency SLO."""
         if self.makespan_s <= 0:
             return 0.0
-        good = sum(
-            r.request.gen_len for r in self.records if r.latency_s <= self.slo_s
-        )
-        return good / self.makespan_s
+        return self._metrics()["good_tokens"] / self.makespan_s
 
     def cost_usd(self, rates: dict[str, float] | None = None) -> float:
-        """Fleet cost of the run: every replica billed for the makespan."""
+        """Fleet cost of the run: each replica billed for its up time.
+
+        Fault-free (``up_time_s`` unset on every replica) this bills
+        every replica for the full makespan, exactly as before; under
+        join/drain/crash schedules a replica only pays for the window it
+        was actually serving.
+        """
         rates = rates or HARDWARE_COST_PER_HOUR
-        hours = self.makespan_s / 3600.0
-        return sum(
-            rates.get(stats.hardware, DEFAULT_COST_PER_HOUR) * hours
-            for stats in self.replicas
-        )
+        total = 0.0
+        for stats in self.replicas:
+            up = stats.up_time_s if stats.up_time_s is not None else self.makespan_s
+            total += rates.get(stats.hardware, DEFAULT_COST_PER_HOUR) * (
+                up / 3600.0
+            )
+        return total
 
     def cost_per_token(self, rates: dict[str, float] | None = None) -> float:
         tokens = self.generated_tokens
@@ -260,6 +343,14 @@ class ClusterReport:
             f"(${1e3 * self.cost_per_token():.4f} per 1k tokens), "
             f"{self.expert_misses} expert fetch misses",
         ]
+        if self.availability:
+            a = self.availability
+            lines.append(
+                f"faults: {a.get('completed', 0)} completed / "
+                f"{a.get('shed', 0)} shed / {a.get('failed', 0)} failed "
+                f"({a.get('retried_requests', 0)} retried), fleet "
+                f"availability {a.get('availability', 1.0):.1%}"
+            )
         if self.counters:
             lines.append(
                 "events: "
@@ -275,7 +366,27 @@ class ClusterReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        return {
+        # Fault-related keys (availability, per-request outcome/attempts)
+        # are emitted only when fault injection actually ran: fault-free
+        # report dicts — and the goldens hashing them — stay identical.
+        faulted = bool(self.availability)
+
+        def request_entry(r: RequestRecord) -> dict:
+            entry = {
+                "request_id": r.request.request_id,
+                "replica_id": r.replica_id,
+                "arrival_s": r.request.arrival_s,
+                "start_s": r.start_s,
+                "completion_s": r.completion_s,
+                "ttft_s": r.ttft_s,
+                "latency_s": r.latency_s,
+            }
+            if faulted:
+                entry["outcome"] = r.outcome
+                entry["attempts"] = r.attempts
+            return entry
+
+        out = {
             "router": self.router,
             "slo_s": self.slo_s,
             "num_replicas": len(self.replicas),
@@ -296,16 +407,8 @@ class ClusterReport:
             "expert_misses": self.expert_misses,
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "replicas": [r.to_dict(self.makespan_s) for r in self.replicas],
-            "requests": [
-                {
-                    "request_id": r.request.request_id,
-                    "replica_id": r.replica_id,
-                    "arrival_s": r.request.arrival_s,
-                    "start_s": r.start_s,
-                    "completion_s": r.completion_s,
-                    "ttft_s": r.ttft_s,
-                    "latency_s": r.latency_s,
-                }
-                for r in self.records
-            ],
+            "requests": [request_entry(r) for r in self.records],
         }
+        if faulted:
+            out["availability"] = self.availability
+        return out

@@ -27,7 +27,17 @@ from repro.serving.requests import Request
 
 
 class Router:
-    """Base class: stateless or stateful replica selection."""
+    """Base class: stateless or stateful replica selection.
+
+    Health-aware routing contract: ``choose`` receives only the replicas
+    eligible for new work. Under fault injection
+    (:mod:`repro.cluster.faults`) the simulator filters out replicas
+    that are down, draining, or circuit-broken *before* calling the
+    router, so every policy — including custom registrations — is
+    failover-capable without knowing faults exist. Policies must
+    therefore never assume ``replicas`` is the full fleet or that ids
+    are contiguous.
+    """
 
     name = "base"
 

@@ -141,6 +141,11 @@ class ClusterSimulator:
         replicas: the fleet (at least one :class:`Replica`).
         router: request-routing policy.
         config: fleet-level knobs (default :class:`ClusterConfig`).
+        faults: optional :class:`~repro.cluster.faults.FaultConfig`; when
+            active, the run takes the faulted serial event loop
+            (:func:`repro.cluster.faults.run_faulted`).
+        retry: optional :class:`~repro.cluster.faults.RetryPolicy` used
+            under fault injection (default policy when omitted).
     """
 
     def __init__(
@@ -148,12 +153,18 @@ class ClusterSimulator:
         replicas: list[Replica],
         router: Router,
         config: ClusterConfig | None = None,
+        *,
+        faults=None,
+        retry=None,
     ):
         if not replicas:
             raise ValueError("at least one replica is required")
         self.replicas = replicas
         self.router = router
         self.config = config or ClusterConfig()
+        self.faults = faults
+        self.retry = retry
+        self._consumed = False
         self._assign_residency()
 
     def _assign_residency(self) -> None:
@@ -213,12 +224,30 @@ class ClusterSimulator:
             jobs: worker processes for the sharded engine (ignored
                 otherwise).
 
-        Note: a simulator instance accumulates replica state across
-        ``run`` calls; build a fresh fleet per run when comparing
-        engines or streams.
+        Raises:
+            RuntimeError: on fleet reuse. Replica state (queues, groups,
+                busy time) accumulates across runs and silently corrupts
+                the second report, so a simulator serves exactly one
+                stream — build a fresh fleet (:func:`build_cluster` /
+                ``repro.api.build_fleet``) per run.
+
+        With an active fault config every engine deterministically runs
+        the faulted serial loop (the fast engines do not model faults);
+        the fallback is counted as ``cluster.engine.fault_fallback``.
         """
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self._consumed or any(
+            r.groups or r.queue or r.busy_s or r.queue_depth_timeline
+            for r in self.replicas
+        ):
+            raise RuntimeError(
+                "this fleet has already served a stream: replica state "
+                "(queues, groups, busy time) accumulates across run() "
+                "calls and would corrupt the report — build a fresh "
+                "fleet per run (build_cluster / repro.api.build_fleet)"
+            )
+        self._consumed = True
         with span(
             "cluster.run",
             {
@@ -227,6 +256,28 @@ class ClusterSimulator:
                 "engine": engine,
             },
         ):
+            if self.faults is not None and self.faults.active():
+                from repro.cluster.faults import (
+                    RetryPolicy,
+                    compile_fault_plan,
+                    run_faulted,
+                )
+
+                if engine != "serial":
+                    count("cluster.engine.fault_fallback")
+                last = max((r.arrival_s for r in requests), default=0.0)
+                horizon = (
+                    last
+                    + self.faults.crash_downtime_s
+                    + self.faults.straggler_duration_s
+                    + 60.0
+                )
+                plan = compile_fault_plan(
+                    self.faults, len(self.replicas), horizon
+                )
+                return run_faulted(
+                    self, requests, plan, self.retry or RetryPolicy()
+                )
             if engine == "serial":
                 return self._run(requests)
             from repro.cluster.engines import run_engine

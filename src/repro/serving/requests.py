@@ -39,6 +39,12 @@ class Request:
     ``hot_expert`` is the request's dominant expert under the routing
     popularity model (None when untagged); it is a routing *hint* for the
     cluster layer, not a constraint on the model's gate.
+
+    ``slo_class`` tags the request's tenant class for admission control
+    under fault injection (:mod:`repro.cluster.faults`): ``interactive``
+    requests are protected from deadline-based shedding and get a doubled
+    queue-depth bound. The default ``standard`` class has no special
+    treatment, so fault-free behavior is unchanged.
     """
 
     request_id: int
@@ -46,6 +52,7 @@ class Request:
     prompt_len: int
     gen_len: int
     hot_expert: int | None = None
+    slo_class: str = "standard"
 
 
 @dataclass(frozen=True)
@@ -156,9 +163,9 @@ def replay_trace(
 
     ``trace`` is either a path to a JSON file containing a list of records,
     or an in-memory iterable of records. Each record is a mapping with keys
-    ``arrival_s``, ``prompt_len``, ``gen_len`` (optional ``hot_expert``), or
-    a ``(arrival_s, prompt_len, gen_len)`` sequence. Requests are sorted by
-    arrival time and re-numbered.
+    ``arrival_s``, ``prompt_len``, ``gen_len`` (optional ``hot_expert`` and
+    ``slo_class``), or a ``(arrival_s, prompt_len, gen_len)`` sequence.
+    Requests are sorted by arrival time and re-numbered.
     """
     if isinstance(trace, (str, Path)):
         records = json.loads(Path(trace).read_text())
@@ -173,11 +180,14 @@ def replay_trace(
                     int(record["prompt_len"]),
                     int(record["gen_len"]),
                     record.get("hot_expert"),
+                    str(record.get("slo_class", "standard")),
                 )
             )
         else:
             arrival, prompt, gen = record[:3]
-            parsed.append((float(arrival), int(prompt), int(gen), None))
+            parsed.append(
+                (float(arrival), int(prompt), int(gen), None, "standard")
+            )
     parsed.sort(key=lambda r: r[0])
     return [
         Request(
@@ -186,8 +196,9 @@ def replay_trace(
             prompt_len=prompt,
             gen_len=gen,
             hot_expert=None if hot is None else int(hot),
+            slo_class=slo_class,
         )
-        for i, (arrival, prompt, gen, hot) in enumerate(parsed)
+        for i, (arrival, prompt, gen, hot, slo_class) in enumerate(parsed)
     ]
 
 
@@ -229,6 +240,8 @@ def assign_hot_experts(
     # Rebuild directly rather than dataclasses.replace(): replace() costs
     # ~8x a plain construction, which dominates million-request streams.
     return [
-        Request(r.request_id, r.arrival_s, r.prompt_len, r.gen_len, draw)
+        Request(
+            r.request_id, r.arrival_s, r.prompt_len, r.gen_len, draw, r.slo_class
+        )
         for r, draw in zip(requests, draws)
     ]

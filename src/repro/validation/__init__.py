@@ -16,7 +16,9 @@ The correctness harness every refactor and optimization PR leans on:
 * :mod:`repro.validation.fuzz` — seeded random evaluation points
   (models, machines, workloads, systems, fleets, arrival processes)
   pushed through the checkers above; surfaced as
-  ``repro.cli validate --fuzz N``;
+  ``repro.cli validate --fuzz N``, and as ``validate --chaos N`` for
+  the fault-injection campaign (every case a cluster run under a
+  fuzzed :class:`~repro.cluster.faults.FaultConfig`);
 * :mod:`repro.validation.goldens` — content-addressed golden-trace
   snapshots under ``tests/goldens/`` with an ``--update-goldens``
   refresh flow.

@@ -72,12 +72,20 @@ class FuzzConfig:
             (single-engine runs still get invariant checks).
         cluster_every: every N-th case is a cluster case (the rest are
             pipeline cases).
+        chaos: when True, *every* case is a cluster case run under a
+            fuzzed :class:`~repro.cluster.faults.FaultConfig` and random
+            retry policy — the ``validate --chaos N`` campaign. Checks
+            the fault-mode invariants (terminal-once conservation,
+            downtime exclusion, outcome-aware accounting) plus
+            byte-for-byte determinism; failures still carry replayable
+            config blobs with the fault spec inline.
     """
 
     cases: int = 25
     seed: int = 0
     engine: str = "both"
     cluster_every: int = 4
+    chaos: bool = False
 
     def __post_init__(self):
         if self.cases < 0:
@@ -476,14 +484,88 @@ def random_serve_config(rng: np.random.Generator, model: dict) -> ServeConfig:
     )
 
 
+def random_fault_config(rng: np.random.Generator, n_replicas: int) -> dict:
+    """Sample an inline :class:`~repro.cluster.faults.FaultConfig` dict.
+
+    Rates are deliberately brutal — fuzz streams span tens of simulated
+    seconds, so hourly rates in the hundreds make crashes, stragglers,
+    and transient failures all but certain while staying valid configs.
+
+    Args:
+        rng: the case's seeded generator.
+        n_replicas: fleet size (bounds join/drain replica ids).
+
+    Returns:
+        The ``cluster.faults`` inline-dict form of a fuzzed fault model.
+    """
+    joins, drains = [], []
+    for rid in range(n_replicas):
+        roll = rng.random()
+        # Never drain the whole fleet from t=0: keep replica 0 drain-free
+        # so some capacity exists (all-shed runs are legal but vacuous).
+        if roll < 0.25:
+            joins.append([float(rng.uniform(0.0, 20.0)), rid])
+        elif roll < 0.45 and rid > 0:
+            drains.append([float(rng.uniform(0.0, 30.0)), rid])
+    return {
+        "seed": int(rng.integers(0, 2**31)),
+        "crash_rate_per_hour": (
+            float(rng.uniform(30.0, 600.0)) if rng.random() < 0.7 else 0.0
+        ),
+        "crash_downtime_s": float(rng.uniform(0.5, 20.0)),
+        "straggler_rate_per_hour": (
+            float(rng.uniform(30.0, 600.0)) if rng.random() < 0.6 else 0.0
+        ),
+        "straggler_duration_s": float(rng.uniform(1.0, 30.0)),
+        "straggler_factor": float(rng.uniform(1.1, 4.0)),
+        "transient_failure_prob": (
+            float(rng.uniform(0.05, 0.5)) if rng.random() < 0.6 else 0.0
+        ),
+        "breaker_threshold": int(rng.integers(0, 5)),
+        "breaker_cooldown_s": float(rng.uniform(1.0, 30.0)),
+        "joins": joins,
+        "drains": drains,
+        "shed_queue_depth": (
+            int(rng.integers(1, 9)) if rng.random() < 0.4 else 0
+        ),
+        "shed_slack_s": (
+            float(rng.uniform(1.0, 60.0)) if rng.random() < 0.4 else 0.0
+        ),
+    }
+
+
+def random_retry_config(rng: np.random.Generator) -> dict:
+    """Sample a ``cluster.retry`` dict (empty half the time: defaults).
+
+    Args:
+        rng: the case's seeded generator.
+
+    Returns:
+        A :class:`~repro.cluster.faults.RetryPolicy` field dict, or
+        ``{}`` to exercise the default policy path.
+    """
+    if rng.random() < 0.5:
+        return {}
+    return {
+        "max_attempts": int(rng.integers(1, 6)),
+        "backoff_base_s": float(rng.uniform(0.05, 2.0)),
+        "backoff_multiplier": float(rng.uniform(1.0, 3.0)),
+        "jitter_frac": float(rng.uniform(0.0, 0.5)),
+        "retry_budget": int(rng.integers(1, 51)) if rng.random() < 0.3 else 0,
+        "seed": int(rng.integers(0, 2**31)),
+    }
+
+
 def random_cluster_run_config(
-    rng: np.random.Generator, case_seed: int
+    rng: np.random.Generator, case_seed: int, *, chaos: bool = False
 ) -> RunConfig:
     """Sample a full cluster evaluation point as a config blob.
 
     Args:
         rng: the case's seeded generator.
         case_seed: the case's seed (pins the fleet's scenario seed).
+        chaos: also sample a fault model and retry policy into the
+            ``cluster`` section (the ``validate --chaos`` campaign).
 
     Returns:
         A :class:`~repro.api.RunConfig` with ``cluster`` and ``serve``
@@ -510,13 +592,19 @@ def random_cluster_run_config(
         max_wait_s=float(rng.uniform(0.5, 30.0)),
         slo_s=float(rng.uniform(5.0, 300.0)),
         partition_experts=bool(rng.random() < 0.8),
+        faults=random_fault_config(rng, n_replicas) if chaos else "",
+        retry=random_retry_config(rng) if chaos else {},
     )
     serve = random_serve_config(rng, model)
     return RunConfig(scenario=scenario, cluster=cluster, serve=serve)
 
 
 def run_cluster_case(
-    case_seed: int, report: FuzzReport, label: str = "", engine: str = "both"
+    case_seed: int,
+    report: FuzzReport,
+    label: str = "",
+    engine: str = "both",
+    chaos: bool = False,
 ) -> None:
     """Run one cluster case (invariants + determinism) into ``report``.
 
@@ -529,11 +617,16 @@ def run_cluster_case(
             :func:`~repro.validation.run_cluster_differential` (sharded
             in-process, to keep a case in the tens-of-milliseconds
             budget); any other value skips the cross-engine pass.
+        chaos: fuzz a fault model into the config; with an active plan
+            the cross-engine pass degenerates into proving the
+            fault-fallback path is identical from every engine entry
+            point, which is exactly the property it should pin.
     """
     rng = np.random.default_rng(case_seed)
-    config = random_cluster_run_config(rng, case_seed)
+    config = random_cluster_run_config(rng, case_seed, chaos=chaos)
+    kind = "chaos" if chaos else "cluster"
     tag = (
-        f"cluster {label or f'case-seed={case_seed}'} "
+        f"{kind} {label or f'case-seed={case_seed}'} "
         f"router={config.cluster.router}"
     )
     report.cluster_cases += 1
@@ -601,7 +694,13 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
         # Failure tags carry the replay coordinates: same --seed plus a
         # --fuzz count past the failing case index reruns the case.
         label = f"case {i} of --seed {config.seed}"
-        if (i + 1) % config.cluster_every == 0:
+        if config.chaos:
+            # Chaos campaign: every case is a cluster run under a fuzzed
+            # fault plan (replayable via the blob's cluster.faults).
+            run_cluster_case(
+                case_seed, report, label, engine=config.engine, chaos=True
+            )
+        elif (i + 1) % config.cluster_every == 0:
             run_cluster_case(case_seed, report, label, engine=config.engine)
         else:
             run_pipeline_case(case_seed, config.engine, report, label)

@@ -26,15 +26,21 @@ Timeline invariants (:func:`check_timeline`):
 
 Cluster invariants (:func:`check_cluster`):
 
-* **request conservation** — every submitted request is served exactly
-  once: none lost, none dropped, none double-dispatched;
-* **record causality** — dispatch at or after arrival, start at or after
-  dispatch, completion after start, non-negative TTFT and latency;
-* **replica serialization** — each replica executes its groups without
-  overlap (one batch-group execution slot per replica);
-* **accounting** — per-replica request counts sum to the record count,
-  goodput never exceeds throughput, SLO attainment matches a recount,
-  and the makespan covers the last completion.
+* **request conservation** — every submitted request reaches exactly one
+  terminal record (``completed``, ``shed``, or ``failed`` under fault
+  injection): none lost, none invented, none double-terminated;
+* **record causality** — completed records dispatch at or after arrival,
+  start at or after dispatch, complete after start, with non-negative
+  TTFT and latency; shed/failed records collapse all three timestamps
+  onto the terminal decision instant with zero TTFT;
+* **replica serialization** — each replica executes its completed groups
+  without overlap (one batch-group execution slot per replica);
+* **downtime exclusion** — under fault injection, no completed record's
+  execution interval overlaps its replica's recorded downtime windows;
+* **accounting** — per-replica request counts sum to the completed-record
+  count, goodput never exceeds throughput, SLO attainment matches an
+  outcome-aware recount (shed/failed count against attainment), and the
+  makespan covers the last terminal event.
 """
 
 from __future__ import annotations
@@ -300,8 +306,11 @@ def check_cluster(
         All violations found (empty when the report is consistent).
     """
     violations: list[Violation] = []
+    completed = [r for r in report.records if r.outcome == "completed"]
 
-    # Request conservation: served exactly once, none invented.
+    # Request conservation: exactly one terminal record each (completed,
+    # shed, or failed — a non-completed outcome is still terminal), none
+    # invented, none terminated twice.
     submitted = {r.request_id: r for r in requests}
     if len(submitted) != len(requests):
         violations.append(
@@ -317,7 +326,8 @@ def check_cluster(
         violations.append(
             Violation(
                 "request-conservation",
-                f"{len(lost)} requests never served (first: {lost[:5]})",
+                f"{len(lost)} requests never reached a terminal record "
+                f"(first: {lost[:5]})",
             )
         )
     invented = sorted(set(served) - set(submitted))
@@ -333,19 +343,57 @@ def check_cluster(
         violations.append(
             Violation(
                 "double-dispatch",
-                f"{len(doubled)} requests served more than once "
+                f"{len(doubled)} requests terminated more than once "
                 f"(first: {doubled[:5]})",
             )
         )
 
-    # Per-record causality.
+    # Per-record validity and causality (outcome-aware).
     for record in report.records:
+        rid = record.request.request_id
+        if record.outcome not in ("completed", "shed", "failed"):
+            violations.append(
+                Violation(
+                    "record-outcome",
+                    f"request {rid} has unknown outcome {record.outcome!r}",
+                )
+            )
+            continue
         arrival = record.request.arrival_s
+        if record.outcome != "completed":
+            # Terminal drops collapse every timestamp onto the decision
+            # instant; the decision can never precede arrival.
+            if not (record.dispatch_s == record.start_s == record.completion_s):
+                violations.append(
+                    Violation(
+                        "record-causality",
+                        f"{record.outcome} request {rid} has non-collapsed "
+                        f"timestamps ({record.dispatch_s!r}, "
+                        f"{record.start_s!r}, {record.completion_s!r})",
+                    )
+                )
+            if record.ttft_s != 0.0:
+                violations.append(
+                    Violation(
+                        "record-causality",
+                        f"{record.outcome} request {rid} has nonzero "
+                        f"ttft {record.ttft_s!r}",
+                    )
+                )
+            if record.completion_s < arrival - _EPS:
+                violations.append(
+                    Violation(
+                        "record-causality",
+                        f"{record.outcome} request {rid} decided at "
+                        f"{record.completion_s!r} before arrival {arrival!r}",
+                    )
+                )
+            continue
         if record.dispatch_s < arrival - _EPS:
             violations.append(
                 Violation(
                     "record-causality",
-                    f"request {record.request.request_id} dispatched at "
+                    f"request {rid} dispatched at "
                     f"{record.dispatch_s!r} before arrival {arrival!r}",
                 )
             )
@@ -353,7 +401,7 @@ def check_cluster(
             violations.append(
                 Violation(
                     "record-causality",
-                    f"request {record.request.request_id} starts at "
+                    f"request {rid} starts at "
                     f"{record.start_s!r} before dispatch {record.dispatch_s!r}",
                 )
             )
@@ -361,7 +409,7 @@ def check_cluster(
             violations.append(
                 Violation(
                     "record-causality",
-                    f"request {record.request.request_id} completes at "
+                    f"request {rid} completes at "
                     f"{record.completion_s!r} before start {record.start_s!r}",
                 )
             )
@@ -369,9 +417,17 @@ def check_cluster(
             violations.append(
                 Violation(
                     "record-causality",
-                    f"request {record.request.request_id} has negative "
+                    f"request {rid} has negative "
                     f"ttft ({record.ttft_s!r}) or latency "
                     f"({record.latency_s!r})",
+                )
+            )
+        if record.attempts < 1:
+            violations.append(
+                Violation(
+                    "record-outcome",
+                    f"completed request {rid} records "
+                    f"{record.attempts} attempts",
                 )
             )
 
@@ -382,8 +438,11 @@ def check_cluster(
     # interval (identical positive-duration intervals are by construction
     # a double-booked slot — a correct simulator advances `free_at` past
     # every positive-duration group before starting the next).
+    # Only completed records occupy an execution slot — shed/failed
+    # records are zero-duration bookkeeping stamps at the decision time
+    # and may legitimately fall inside another group's interval.
     by_replica: dict[int, set[tuple[float, float]]] = {}
-    for record in report.records:
+    for record in completed:
         by_replica.setdefault(record.replica_id, set()).add(
             (record.start_s, record.completion_s)
         )
@@ -416,14 +475,34 @@ def check_cluster(
                     )
                 )
 
-    # Accounting sums.
+    # Downtime exclusion: a completed group's interval must never
+    # overlap a downtime window of its replica — a crash aborts every
+    # pending group, so nothing can finish while the replica is down.
+    windows = (report.availability or {}).get("downtime_windows", {})
+    for replica_id, replica_windows in sorted(windows.items()):
+        intervals = sorted(by_replica.get(int(replica_id), ()))
+        for w_start, w_end in replica_windows:
+            for start, end in intervals:
+                if min(end, w_end) - max(start, w_start) > _EPS:
+                    violations.append(
+                        Violation(
+                            "downtime-exclusion",
+                            f"replica {replica_id}: completed group "
+                            f"[{start!r}, {end!r}] overlaps downtime "
+                            f"window [{w_start!r}, {w_end!r}]",
+                        )
+                    )
+
+    # Accounting sums. Replica stats only count groups that actually ran
+    # to completion on the replica (crashes roll aborted groups back), so
+    # the recount is against completed records.
     stats_requests = sum(stats.requests for stats in report.replicas)
-    if report.replicas and stats_requests != len(report.records):
+    if report.replicas and stats_requests != len(completed):
         violations.append(
             Violation(
                 "accounting",
                 f"replica stats count {stats_requests} requests, report "
-                f"has {len(report.records)} records",
+                f"has {len(completed)} completed records",
             )
         )
     if report.goodput > report.throughput + _EPS:
@@ -442,7 +521,9 @@ def check_cluster(
             )
         )
     if report.records:
-        met = sum(1 for r in report.records if r.latency_s <= report.slo_s)
+        # Shed/failed requests count against attainment: only completed
+        # records can meet the SLO, but the denominator is every request.
+        met = sum(1 for r in completed if r.latency_s <= report.slo_s)
         if abs(report.slo_attainment - met / len(report.records)) > _EPS:
             violations.append(
                 Violation(
@@ -457,16 +538,32 @@ def check_cluster(
                 Violation(
                     "accounting",
                     f"makespan {report.makespan_s!r} before last "
-                    f"completion {last!r}",
+                    f"terminal event {last!r}",
                 )
             )
-        tokens = sum(r.request.gen_len for r in report.records)
+        tokens = sum(r.request.gen_len for r in completed)
         if report.generated_tokens != tokens:
             violations.append(
                 Violation(
                     "accounting",
                     f"generated_tokens {report.generated_tokens} != summed "
-                    f"{tokens}",
+                    f"{tokens} over completed records",
                 )
             )
+    if report.availability:
+        counts = {
+            "completed": len(completed),
+            "shed": sum(1 for r in report.records if r.outcome == "shed"),
+            "failed": sum(1 for r in report.records if r.outcome == "failed"),
+        }
+        for key, expected in counts.items():
+            if report.availability.get(key) != expected:
+                violations.append(
+                    Violation(
+                        "accounting",
+                        f"availability[{key!r}] = "
+                        f"{report.availability.get(key)} != recount "
+                        f"{expected}",
+                    )
+                )
     return violations

@@ -19,8 +19,11 @@ EXPECTED_SURFACE = {
     "ClusterConfig": "dataclass(replicas, envs, router, router_options, "
                      "group_batches, max_wait_s, slo_s, partition_experts, "
                      "expert_slots_per_replica, prompt_quantum, engine, "
-                     "jobs)",
+                     "jobs, faults, retry)",
+    "FAULT_PRESETS": "Registry",
     "HARDWARE_PRESETS": "Registry",
+    "fault_preset_names": "def() -> 'list[str]'",
+    "register_fault_preset": "def(name: 'str') -> 'Callable'",
     "MODEL_PRESETS": "Registry",
     "ROUTERS": "Registry",
     "Registry": "class",
@@ -80,6 +83,9 @@ EXPECTED_REGISTRY_NAMES = {
         "switch-base-128", "switch-base-16", "switch-base-8",
     ],
     "HARDWARE_PRESETS": ["env1", "env2"],
+    "FAULT_PRESETS": [
+        "chaos", "crashes", "flaky-network", "load-shed", "stragglers",
+    ],
 }
 
 

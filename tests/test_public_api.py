@@ -212,3 +212,31 @@ class TestCLICoverage:
     def test_serve_unknown_env(self):
         with pytest.raises(SystemExit):
             main(["serve", "--envs", "env99", "--requests", "2"])
+
+    def test_serve_fault_preset_and_seed(self, capsys):
+        code = main([
+            "serve", "--replicas", "2", "--requests", "8",
+            "--batch-size", "4", "--gen-len", "2", "--group-batches", "1",
+            "--max-wait", "5", "--faults", "chaos", "--fault-seed", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out and "availability" in out
+
+    def test_serve_inline_fault_json(self, capsys):
+        code = main([
+            "serve", "--replicas", "1", "--requests", "6",
+            "--batch-size", "4", "--gen-len", "2", "--group-batches", "1",
+            "--max-wait", "5", "--faults", '{"shed_queue_depth": 1}',
+        ])
+        assert code == 0
+        assert "faults:" in capsys.readouterr().out
+
+    def test_serve_fault_flag_errors(self):
+        with pytest.raises(SystemExit, match="requires --faults"):
+            main(["serve", "--requests", "2", "--fault-seed", "3"])
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["serve", "--requests", "2", "--faults", "{broken"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--requests", "2", "--faults", "no-such-preset",
+                  "--fault-seed", "1"])

@@ -271,6 +271,13 @@ class TestFuzz:
             report = run_fuzz(FuzzConfig(cases=6, seed=5, engine=engine))
             assert report.ok, report.summary()
 
+    def test_chaos_campaign_is_clean_and_deterministic(self):
+        report = run_fuzz(FuzzConfig(cases=4, seed=11, chaos=True))
+        assert report.ok, report.summary()
+        assert report.cluster_cases == 4 and report.pipeline_cases == 0
+        again = run_fuzz(FuzzConfig(cases=4, seed=11, chaos=True))
+        assert report.to_dict() == again.to_dict()
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             FuzzConfig(cases=-1)
@@ -301,6 +308,14 @@ class TestValidateCLI:
         assert payload["ok"] is True
         assert payload["cases"] == 4
         assert payload["failures"] == []
+
+    def test_validate_chaos_cli(self, capsys):
+        assert main(["validate", "--chaos", "3", "--seed", "5", "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        payload = envelope["result"]
+        assert payload["ok"] is True
+        assert payload["cluster_cases"] == 3
+        assert payload["pipeline_cases"] == 0
 
     def test_failure_payload_carries_replayable_config(self):
         """Every recorded failure embeds a from_dict-able config blob."""
