@@ -52,6 +52,7 @@ from repro.api.registry import (
     HARDWARE_PRESETS,
     MODEL_PRESETS,
     ROUTERS,
+    SCHEDULERS,
     SYSTEMS,
     Registry,
     RegistryError,
@@ -64,8 +65,10 @@ from repro.api.registry import (
     register_hardware_preset,
     register_model_preset,
     register_router,
+    register_scheduler,
     register_system,
     router_names,
+    scheduler_names,
     system_names,
 )
 from repro.api.run import (
@@ -107,18 +110,21 @@ __all__ = [
     "MODEL_PRESETS",
     "HARDWARE_PRESETS",
     "FAULT_PRESETS",
+    "SCHEDULERS",
     "register_system",
     "register_router",
     "register_arrivals",
     "register_model_preset",
     "register_hardware_preset",
     "register_fault_preset",
+    "register_scheduler",
     "system_names",
     "router_names",
     "arrival_names",
     "model_preset_names",
     "hardware_preset_names",
     "fault_preset_names",
+    "scheduler_names",
     # builders / runners
     "build_scenario",
     "build_system",

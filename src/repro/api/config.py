@@ -37,6 +37,7 @@ from repro.api.registry import (
     HARDWARE_PRESETS,
     MODEL_PRESETS,
     ROUTERS,
+    SCHEDULERS,
     SYSTEMS,
     suggest,
     unknown_name_message,
@@ -519,6 +520,16 @@ class ClusterConfig:
         retry: :class:`~repro.cluster.faults.RetryPolicy` overrides as a
             dict (empty: the default policy); only consulted when
             ``faults`` is active.
+        scheduler: dispatch discipline — a
+            :data:`~repro.api.registry.SCHEDULERS` name. ``group`` (the
+            default) is the historical batch-group event loop;
+            ``continuous`` admits and preempts at decode-step boundaries
+            (see :mod:`repro.serving.scheduler`). Non-default schedulers
+            always run their own serial loop regardless of ``engine``.
+        queue_depth_stride: keep every N-th per-replica queue-depth
+            sample (1, the default, keeps all of them — the exact
+            pre-existing behaviour); larger strides bound the timeline
+            on fleet-scale streams.
     """
 
     replicas: int = 4
@@ -535,6 +546,8 @@ class ClusterConfig:
     jobs: int = 1
     faults: str | dict = ""
     retry: dict = field(default_factory=dict)
+    scheduler: str = "group"
+    queue_depth_stride: int = 1
 
     def to_dict(self) -> dict:
         """Plain-JSON form (``envs`` as a list)."""
@@ -553,6 +566,8 @@ class ClusterConfig:
             "jobs": self.jobs,
             "faults": _copy_ref(self.faults),
             "retry": _copy_ref(dict(self.retry)),
+            "scheduler": self.scheduler,
+            "queue_depth_stride": self.queue_depth_stride,
         }
 
     @classmethod
@@ -628,6 +643,11 @@ class ClusterConfig:
                 "must be one of: serial, batched, sharded",
             ),
             ("jobs", self.jobs >= 1, "must be >= 1"),
+            (
+                "queue_depth_stride",
+                self.queue_depth_stride >= 1,
+                "must be >= 1 (1: keep every sample)",
+            ),
         )
         for key, ok, message in checks:
             if not ok:
@@ -637,6 +657,15 @@ class ClusterConfig:
                 (
                     _join(path, "router"),
                     unknown_name_message("router", self.router, ROUTERS.names()),
+                )
+            )
+        if self.scheduler not in SCHEDULERS:
+            out.append(
+                (
+                    _join(path, "scheduler"),
+                    unknown_name_message(
+                        "scheduler", self.scheduler, SCHEDULERS.names()
+                    ),
                 )
             )
         if isinstance(self.faults, str):

@@ -166,7 +166,7 @@ class Registry:
 
 
 # ---------------------------------------------------------------------------
-# The six registries. Providers are the modules whose import registers
+# The seven registries. Providers are the modules whose import registers
 # the built-in entries; anything else can add entries at import time via
 # the decorators below.
 
@@ -188,6 +188,8 @@ MODEL_PRESETS = Registry("model preset", providers=("repro.model.config",))
 HARDWARE_PRESETS = Registry("hardware preset", providers=("repro.hardware.spec",))
 
 FAULT_PRESETS = Registry("fault preset", providers=("repro.cluster.faults",))
+
+SCHEDULERS = Registry("scheduler", providers=("repro.serving.scheduler",))
 
 
 def register_system(name: str) -> Callable:
@@ -261,6 +263,21 @@ def register_fault_preset(name: str) -> Callable:
     return FAULT_PRESETS.register(name)
 
 
+def register_scheduler(name: str) -> Callable:
+    """Decorator: register a ``Scheduler`` class for cluster dispatch.
+
+    Args:
+        name: the registry key ``ClusterConfig.scheduler`` / ``serve
+            --scheduler`` resolve.
+
+    Returns:
+        The decorator (registers the class and returns it unchanged).
+        Entries are classes instantiated as ``cls(simulator)``; see
+        :class:`repro.serving.scheduler.Scheduler`.
+    """
+    return SCHEDULERS.register(name)
+
+
 def system_names() -> list[str]:
     """Registered inference-system names."""
     return SYSTEMS.names()
@@ -289,3 +306,8 @@ def hardware_preset_names() -> list[str]:
 def fault_preset_names() -> list[str]:
     """Registered fault-preset names."""
     return FAULT_PRESETS.names()
+
+
+def scheduler_names() -> list[str]:
+    """Registered cluster-scheduler names."""
+    return SCHEDULERS.names()

@@ -145,6 +145,7 @@ def build_fleet(run: RunConfig, *, shared_cache: dict | None = None) -> list:
         seed=scenario.seed,
         prompt_quantum=cluster.prompt_quantum,
         shared_cache=shared_cache,
+        timeline_stride=cluster.queue_depth_stride,
     )
 
 
@@ -206,6 +207,7 @@ def run_cluster(
             slo_s=cluster.slo_s,
             partition_experts=cluster.partition_experts,
             expert_slots_per_replica=cluster.expert_slots_per_replica or None,
+            scheduler=cluster.scheduler,
         ),
         faults=cluster.resolve_faults(),
         retry=cluster.build_retry(),

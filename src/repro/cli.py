@@ -70,6 +70,7 @@ from repro.api import (
     router_names,
     run_cluster,
     scenario_dict_from_args,
+    scheduler_names,
     system_names,
 )
 from repro.api.registry import RegistryError
@@ -381,6 +382,7 @@ def cmd_serve(args) -> int:
             "engine": engine,
             "jobs": args.jobs,
             "faults": faults,
+            "scheduler": args.scheduler,
         },
         "serve": {
             "arrival": "trace" if replay else args.arrival,
@@ -584,6 +586,17 @@ def _bench_cluster(num_requests: int, num_replicas: int) -> dict:
         t0 = time.perf_counter()
         run_cluster(config, requests=requests, engine=engine, jobs=jobs)
         cell[f"{engine}_s"] = round(time.perf_counter() - t0, 4)
+    # The iteration-level discipline on the same stream: not equivalent
+    # work (different dispatch semantics), but the cost of the per-step
+    # event loop is a perf surface worth pinning.
+    continuous = dataclasses.replace(
+        config,
+        cluster=dataclasses.replace(config.cluster, scheduler="continuous"),
+    )
+    _clear_perf_memos()
+    t0 = time.perf_counter()
+    run_cluster(continuous, requests=requests)
+    cell["continuous_s"] = round(time.perf_counter() - t0, 4)
     return cell
 
 
@@ -684,7 +697,7 @@ def _compare_bench(payload: dict, baseline: dict, tolerance: float) -> dict:
                 )
     clus, base_clus = payload.get("cluster"), baseline.get("cluster")
     if clus and base_clus:
-        for key in ("serial_s", "sharded_s"):
+        for key in ("serial_s", "sharded_s", "continuous_s"):
             if key in clus and key in base_clus:
                 add(f"cluster.{key}", base_clus[key] * 1e3, clus[key] * 1e3)
     return {
@@ -962,6 +975,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the sharded engine",
+    )
+    p.add_argument(
+        "--scheduler", default="group", choices=scheduler_names(),
+        help="dispatch discipline: 'group' batches whole groups, "
+        "'continuous' admits/preempts at decode-step boundaries",
     )
     p.add_argument(
         "--faults", default="",

@@ -158,6 +158,11 @@ def _scan_replica(
 
     groups: list[tuple] = []
     timeline: list[tuple[float, int]] = []
+    # Queue-depth decimation mirrors Replica.sample_queue_depth: the tick
+    # advances per offered sample, so any stride reproduces the serial
+    # loop's exact sample selection.
+    timeline_stride = replica.timeline_stride
+    timeline_tick = 0
     no_deadline = bytearray(m)  # 1 = this arrival filled a group (no event)
     free_at = 0.0
     busy_s = 0.0
@@ -240,8 +245,12 @@ def _scan_replica(
         else:
             deadline_fires += 1
         for depth, request in enumerate(group):
-            timeline.append((request.arrival_s, depth + 1))
-        timeline.append((time_s, 0))
+            if timeline_tick % timeline_stride == 0:
+                timeline.append((request.arrival_s, depth + 1))
+            timeline_tick += 1
+        if timeline_tick % timeline_stride == 0:
+            timeline.append((time_s, 0))
+        timeline_tick += 1
         groups.append(
             (
                 time_s,

@@ -50,6 +50,12 @@ SLOW_START = "slow-start"  # straggler window opens (service-time multiplier)
 SLOW_END = "slow-end"  # straggler window closes
 RETRY = "retry"  # a backed-off request re-enters routing
 
+# Iteration-level scheduling (see :mod:`repro.serving.scheduler`): one
+# event per decode-step boundary on a replica. Ranked after every other
+# kind so that all arrivals/retries stamped at *t* are routed before the
+# step boundary at *t* admits from the queue.
+DECODE_STEP = "decode-step"
+
 # Canonical same-timestamp ranking (see module docstring). The batched
 # and sharded engines reproduce exactly this order without a heap, which
 # is what makes their reports byte-identical to the serial loop's.
@@ -68,6 +74,7 @@ KIND_PRIORITY = {
     RETRY: 7,
     ARRIVAL: 8,
     DEADLINE: 9,
+    DECODE_STEP: 10,
 }
 
 

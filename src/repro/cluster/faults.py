@@ -403,6 +403,78 @@ def compile_fault_plan(
     return plan
 
 
+def finalize_availability(
+    report: ClusterReport,
+    crash_open_s: list,
+    down_windows: list,
+    join_s: list,
+    drain_bill_end: list,
+    retries_scheduled: int,
+) -> None:
+    """Fill per-replica up-time billing and ``report.availability``.
+
+    Shared by the faulted group loop and the continuous scheduler's
+    fault path so both produce the same availability surface. Expects
+    ``report.makespan_s`` and ``report.replicas`` to be final; mutates
+    ``report.replicas[*].up_time_s`` and ``report.availability``.
+
+    Args:
+        report: the report under assembly.
+        crash_open_s: per-replica open-crash start (None: currently up).
+        down_windows: per-replica closed ``(start, end)`` crash windows.
+        join_s: per-replica billing start (0.0 unless a late join).
+        drain_bill_end: per-replica billing end (None: the makespan).
+        retries_scheduled: the loop's retry counter, surfaced verbatim.
+    """
+    outcome_counts = {"completed": 0, "shed": 0, "failed": 0}
+    retried = 0
+    for record in report.records:
+        outcome_counts[record.outcome] += 1
+        if record.attempts > 1:
+            retried += 1
+
+    total_down = 0.0
+    downtime_s: dict[str, float] = {}
+    windows_out: dict[str, list[list[float]]] = {}
+    for rid, stats in enumerate(report.replicas):
+        if crash_open_s[rid] is not None:
+            # Still down at the end of the run: close the window at the
+            # makespan (or at the crash instant if traffic ended first).
+            down_windows[rid].append(
+                (crash_open_s[rid], max(report.makespan_s, crash_open_s[rid]))
+            )
+        start = join_s[rid]
+        end = (
+            drain_bill_end[rid]
+            if drain_bill_end[rid] is not None
+            else report.makespan_s
+        )
+        end = max(end, start)
+        down = 0.0
+        for w_start, w_end in down_windows[rid]:
+            down += max(0.0, min(w_end, end) - max(w_start, start))
+        stats.up_time_s = max(0.0, end - start - down)
+        total_down += down
+        if down_windows[rid]:
+            downtime_s[str(rid)] = down
+            windows_out[str(rid)] = [[s, e] for s, e in down_windows[rid]]
+
+    fleet_span = len(report.replicas) * report.makespan_s
+    report.availability = {
+        "completed": outcome_counts["completed"],
+        "shed": outcome_counts["shed"],
+        "failed": outcome_counts["failed"],
+        "retried_requests": retried,
+        "retries_scheduled": retries_scheduled,
+        "downtime_s": downtime_s,
+        "downtime_windows": windows_out,
+        "availability": (
+            1.0 - total_down / fleet_span if fleet_span > 0 else 1.0
+        ),
+        "goodput_under_faults_tok_s": report.goodput,
+    }
+
+
 def run_faulted(sim, requests: list[Request], plan: FaultPlan, retry: RetryPolicy):
     """The faulted serial event loop (reference semantics under faults).
 
@@ -509,7 +581,7 @@ def run_faulted(sim, requests: list[Request], plan: FaultPlan, retry: RetryPolic
             capacity = replica.batching.group_capacity
             members = replica.queue[:capacity]
             del replica.queue[: len(members)]
-            replica.queue_depth_timeline.append((now, len(replica.queue)))
+            replica.sample_queue_depth(now, len(replica.queue))
             counters["transient_failures"] += 1
             consec_fail[rid] += 1
             if cfg.breaker_threshold and consec_fail[rid] >= cfg.breaker_threshold:
@@ -625,7 +697,7 @@ def run_faulted(sim, requests: list[Request], plan: FaultPlan, retry: RetryPolic
                     replica.expert_misses -= g.expert_misses
             victims_queued = replica.queue[:]
             replica.queue.clear()
-            replica.queue_depth_timeline.append((now, 0))
+            replica.sample_queue_depth(now, 0)
             replica.free_at = recover_at
             counters["requeued_from_crash"] += len(victims_queued) + sum(
                 len(g.requests) for g in aborted
@@ -663,7 +735,7 @@ def run_faulted(sim, requests: list[Request], plan: FaultPlan, retry: RetryPolic
             )
             victims = replica.queue[:]
             replica.queue.clear()
-            replica.queue_depth_timeline.append((now, 0))
+            replica.sample_queue_depth(now, 0)
             counters["requeued_from_drain"] += len(victims)
             for request in victims:
                 route(request, now)
@@ -690,53 +762,14 @@ def run_faulted(sim, requests: list[Request], plan: FaultPlan, retry: RetryPolic
     report.makespan_s = max((r.completion_s for r in report.records), default=0.0)
     report.replicas = [sim._replica_stats(r) for r in replicas]
 
-    outcome_counts = {"completed": 0, "shed": 0, "failed": 0}
-    retried = 0
-    for record in report.records:
-        outcome_counts[record.outcome] += 1
-        if record.attempts > 1:
-            retried += 1
-
-    total_down = 0.0
-    downtime_s: dict[str, float] = {}
-    windows_out: dict[str, list[list[float]]] = {}
-    for rid, stats in enumerate(report.replicas):
-        if crash_open_s[rid] is not None:
-            # Still down at the end of the run: close the window at the
-            # makespan (or at the crash instant if traffic ended first).
-            down_windows[rid].append(
-                (crash_open_s[rid], max(report.makespan_s, crash_open_s[rid]))
-            )
-        start = join_s[rid]
-        end = (
-            drain_bill_end[rid]
-            if drain_bill_end[rid] is not None
-            else report.makespan_s
-        )
-        end = max(end, start)
-        down = 0.0
-        for w_start, w_end in down_windows[rid]:
-            down += max(0.0, min(w_end, end) - max(w_start, start))
-        stats.up_time_s = max(0.0, end - start - down)
-        total_down += down
-        if down_windows[rid]:
-            downtime_s[str(rid)] = down
-            windows_out[str(rid)] = [[s, e] for s, e in down_windows[rid]]
-
-    fleet_span = n * report.makespan_s
-    report.availability = {
-        "completed": outcome_counts["completed"],
-        "shed": outcome_counts["shed"],
-        "failed": outcome_counts["failed"],
-        "retried_requests": retried,
-        "retries_scheduled": counters["retries_scheduled"],
-        "downtime_s": downtime_s,
-        "downtime_windows": windows_out,
-        "availability": (
-            1.0 - total_down / fleet_span if fleet_span > 0 else 1.0
-        ),
-        "goodput_under_faults_tok_s": report.goodput,
-    }
+    finalize_availability(
+        report,
+        crash_open_s,
+        down_windows,
+        join_s,
+        drain_bill_end,
+        counters["retries_scheduled"],
+    )
     counters["dispatched_groups"] = (
         counters["full_group_dispatches"] + counters["deadline_dispatches"]
     )

@@ -180,6 +180,15 @@ class ClusterReport:
             outcome counts, downtime seconds/windows per replica, fleet
             availability, goodput under faults); empty — and never
             serialized — on fault-free runs.
+        scheduler: scheduling discipline that produced the records —
+            ``group`` (the default batch-group dispatch) or
+            ``continuous`` (iteration-level admission; see
+            :mod:`repro.serving.scheduler`). Serialized only when not
+            ``group`` so existing report dicts stay byte-identical.
+        slo_class_targets: per-SLO-class latency targets (seconds) used
+            for the per-class attainment split; empty (the default) means
+            every class is held to ``slo_s``. Set by the continuous
+            scheduler, serialized only alongside it.
     """
 
     router: str
@@ -196,8 +205,21 @@ class ClusterReport:
     # outcome counts, ...). Empty — and never serialized — on fault-free
     # runs, so existing goldens hash the exact same report dict.
     availability: dict = field(default_factory=dict)
+    scheduler: str = "group"
+    slo_class_targets: dict = field(default_factory=dict)
 
     # ---- latency ----------------------------------------------------------
+
+    def invalidate_metrics(self) -> None:
+        """Mark cached metric arrays stale after an in-place mutation.
+
+        Appending records invalidates the cache automatically (it is
+        keyed on record count); an engine that *replaces* a record — a
+        retry flipping an existing record's outcome, say — leaves the
+        count unchanged and must bump this dirty tick or the cached
+        latency/goodput arrays silently serve the pre-mutation values.
+        """
+        self.__dict__["_dirty_tick"] = self.__dict__.get("_dirty_tick", 0) + 1
 
     def _metrics(self) -> dict:
         """Arrays/sums over completed records, built once per record set.
@@ -207,15 +229,22 @@ class ClusterReport:
         -ish in report rendering for million-request fleets. The cache is
         an undeclared instance attribute, so dataclass ``__eq__`` (which
         compares declared fields only) is unaffected; it is invalidated
-        by record-count changes, the only mutation the engines perform.
+        by record-count changes plus the explicit dirty tick engines bump
+        via :meth:`invalidate_metrics` for count-preserving mutations.
         """
+        tick = self.__dict__.get("_dirty_tick", 0)
         cache = self.__dict__.get("_metric_cache")
-        if cache is not None and cache["n"] == len(self.records):
+        if (
+            cache is not None
+            and cache["n"] == len(self.records)
+            and cache["tick"] == tick
+        ):
             return cache
         completed = [r for r in self.records if r.outcome == "completed"]
         latencies = np.array([r.latency_s for r in completed])
         cache = {
             "n": len(self.records),
+            "tick": tick,
             "completed": completed,
             "latencies": latencies,
             "ttfts": np.array([r.ttft_s for r in completed]),
@@ -227,6 +256,43 @@ class ClusterReport:
         }
         self.__dict__["_metric_cache"] = cache
         return cache
+
+    def _class_metrics(self) -> dict:
+        """Per-SLO-class latency/TTFT arrays, cached like :meth:`_metrics`.
+
+        Built lazily (and separately from the main cache) so group-mode
+        fleets that never ask for a per-class split pay nothing.
+        """
+        tick = self.__dict__.get("_dirty_tick", 0)
+        cache = self.__dict__.get("_class_cache")
+        if (
+            cache is not None
+            and cache["n"] == len(self.records)
+            and cache["tick"] == tick
+        ):
+            return cache["classes"]
+        grouped: dict[str, dict] = {}
+        for record in self.records:
+            cls = grouped.setdefault(
+                record.request.slo_class,
+                {"records": 0, "latencies": [], "ttfts": []},
+            )
+            cls["records"] += 1
+            if record.outcome == "completed":
+                cls["latencies"].append(record.latency_s)
+                cls["ttfts"].append(record.ttft_s)
+        classes = {
+            name: {
+                "records": data["records"],
+                "latencies": np.array(data["latencies"]),
+                "ttfts": np.array(data["ttfts"]),
+            }
+            for name, data in grouped.items()
+        }
+        self.__dict__["_class_cache"] = {
+            "n": len(self.records), "tick": tick, "classes": classes,
+        }
+        return classes
 
     def completed_records(self) -> list[RequestRecord]:
         """Records that terminated as ``completed`` (all, fault-free)."""
@@ -240,17 +306,59 @@ class ClusterReport:
         """TTFT array over completed records (cached; treat read-only)."""
         return self._metrics()["ttfts"]
 
-    def percentile_latency(self, q: float) -> float:
-        arr = self.latencies()
+    def percentile_latency(self, q: float, slo_class: str | None = None) -> float:
+        """Latency percentile, optionally restricted to one SLO class."""
+        if slo_class is None:
+            arr = self.latencies()
+        else:
+            data = self._class_metrics().get(slo_class)
+            arr = data["latencies"] if data is not None else np.array([])
         if arr.size == 0:
             return 0.0
         return float(np.percentile(arr, q))
 
-    def percentile_ttft(self, q: float) -> float:
-        arr = self.ttfts()
+    def percentile_ttft(self, q: float, slo_class: str | None = None) -> float:
+        """TTFT percentile, optionally restricted to one SLO class."""
+        if slo_class is None:
+            arr = self.ttfts()
+        else:
+            data = self._class_metrics().get(slo_class)
+            arr = data["ttfts"] if data is not None else np.array([])
         if arr.size == 0:
             return 0.0
         return float(np.percentile(arr, q))
+
+    def slo_class_metrics(self) -> dict:
+        """Per-SLO-class latency/TTFT percentiles and attainment.
+
+        Each class is held to its ``slo_class_targets`` entry (falling
+        back to the fleet-wide ``slo_s``), so interactive and batch
+        tenants report attainment against *their own* targets. Shed and
+        failed requests of a class count against its attainment, exactly
+        like the fleet-wide number.
+        """
+        out = {}
+        for name, data in sorted(self._class_metrics().items()):
+            target = float(self.slo_class_targets.get(name, self.slo_s))
+            latencies, ttfts = data["latencies"], data["ttfts"]
+            met = int((latencies <= target).sum()) if latencies.size else 0
+            out[name] = {
+                "requests": data["records"],
+                "completed": int(latencies.size),
+                "slo_target_s": target,
+                "slo_attainment": (
+                    met / data["records"] if data["records"] else 0.0
+                ),
+                "mean_latency_s": (
+                    float(latencies.mean()) if latencies.size else 0.0
+                ),
+                "p50_latency_s": self.percentile_latency(50, name),
+                "p95_latency_s": self.percentile_latency(95, name),
+                "p99_latency_s": self.percentile_latency(99, name),
+                "mean_ttft_s": float(ttfts.mean()) if ttfts.size else 0.0,
+                "p95_ttft_s": self.percentile_ttft(95, name),
+            }
+        return out
 
     @property
     def mean_latency_s(self) -> float:
@@ -343,6 +451,15 @@ class ClusterReport:
             f"(${1e3 * self.cost_per_token():.4f} per 1k tokens), "
             f"{self.expert_misses} expert fetch misses",
         ]
+        if self.scheduler != "group":
+            lines.append(f"scheduler: {self.scheduler}")
+            for name, m in self.slo_class_metrics().items():
+                lines.append(
+                    f"  class {name}: {m['requests']} reqs, "
+                    f"{m['slo_attainment']:.0%} within {m['slo_target_s']:.0f} s, "
+                    f"TTFT p95 {m['p95_ttft_s']:.1f} s, latency p99 "
+                    f"{m['p99_latency_s']:.1f} s"
+                )
         if self.availability:
             a = self.availability
             lines.append(
@@ -411,4 +528,10 @@ class ClusterReport:
         }
         if faulted:
             out["availability"] = self.availability
+        # Scheduler keys follow the same conditional-emission discipline
+        # as the fault keys: the default group scheduler's report dicts —
+        # and the fleet goldens hashing them — stay byte-identical.
+        if self.scheduler != "group":
+            out["scheduler"] = self.scheduler
+            out["slo_classes"] = self.slo_class_metrics()
         return out

@@ -56,11 +56,17 @@ class ClusterConfig:
         partition_experts: shard hot-expert residency across replicas.
         expert_slots_per_replica: residency slots per replica (None:
             derive from each replica's placement).
+        scheduler: dispatch discipline — ``"group"`` (the historical
+            group-granular event loop) or any other name registered in
+            ``repro.api.SCHEDULERS`` (e.g. ``"continuous"`` for
+            iteration-level batching). The group path is untouched when
+            this is ``"group"``, keeping fleet goldens byte-identical.
     """
 
     slo_s: float = 120.0  # end-to-end latency bound for goodput accounting
     partition_experts: bool = True  # shard hot-expert residency across replicas
     expert_slots_per_replica: int | None = None  # None: derive from placement
+    scheduler: str = "group"  # dispatch discipline (SCHEDULERS registry)
 
     def __post_init__(self):
         if self.slo_s <= 0:
@@ -78,6 +84,7 @@ def build_cluster(
     seed: int = 0,
     prompt_quantum: int = 64,
     shared_cache: dict | None = None,
+    timeline_stride: int = 1,
 ) -> list[Replica]:
     """Build one replica per environment.
 
@@ -101,6 +108,8 @@ def build_cluster(
         shared_cache: group-timing cache shared by the fleet (default:
             the process-wide memo; pass a dict to isolate this fleet,
             e.g. for determinism checks).
+        timeline_stride: keep every N-th queue-depth sample per replica
+            (1 keeps all — the goldens' exact behaviour).
 
     Returns:
         The list of replicas, ready for :class:`ClusterSimulator`.
@@ -129,6 +138,7 @@ def build_cluster(
             batching=batching,
             prompt_quantum=prompt_quantum,
             shared_cache=shared_cache,
+            timeline_stride=timeline_stride,
         )
         for i, (env, factory) in enumerate(zip(environments, factories))
     ]
@@ -234,11 +244,15 @@ class ClusterSimulator:
         With an active fault config every engine deterministically runs
         the faulted serial loop (the fast engines do not model faults);
         the fallback is counted as ``cluster.engine.fault_fallback``.
+        A non-default ``config.scheduler`` likewise always runs its own
+        serial event loop (counted ``cluster.engine.scheduler_fallback``
+        when a fast engine was requested).
         """
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if self._consumed or any(
             r.groups or r.queue or r.busy_s or r.queue_depth_timeline
+            or r._timeline_tick
             for r in self.replicas
         ):
             raise RuntimeError(
@@ -256,6 +270,16 @@ class ClusterSimulator:
                 "engine": engine,
             },
         ):
+            if self.config.scheduler != "group":
+                # Registered schedulers own their full event loop
+                # (including fault handling); the group path below stays
+                # byte-identical for golden safety.
+                from repro.api.registry import SCHEDULERS
+
+                if engine != "serial":
+                    count("cluster.engine.scheduler_fallback")
+                scheduler_cls = SCHEDULERS.get(self.config.scheduler)
+                return scheduler_cls(self).run(requests)
             if self.faults is not None and self.faults.active():
                 from repro.cluster.faults import (
                     RetryPolicy,

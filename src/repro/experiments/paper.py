@@ -548,6 +548,67 @@ def run_popularity_cell(params: dict) -> dict:
     }
 
 
+@cell_function("serving")
+def run_serving_cell(params: dict) -> dict:
+    """Serving scenarios: one dispatch discipline over a mixed-tenant stream.
+
+    The same Poisson stream (interactive/standard/batch tenants cycled
+    deterministically by request id) is replayed under the scheduler
+    named in ``params``, so the group-vs-continuous rows of the report
+    differ only in dispatch discipline.
+
+    Args:
+        params: model/env/prompt_len/gen_len/seed plus replicas,
+            group_batches, slo_s, requests, rate_per_s, and ``scheduler``.
+
+    Returns:
+        Fleet-level throughput/latency/TTFT plus per-SLO-class
+        percentiles from :meth:`ClusterReport.slo_class_metrics`.
+    """
+    import dataclasses
+
+    from repro.api import RunConfig
+    from repro.api.run import build_requests, run_cluster
+
+    config = RunConfig.from_dict({
+        "scenario": {
+            "model": params["model"], "env": params["env"],
+            "prompt_len": params["prompt_len"], "gen_len": params["gen_len"],
+            "seed": params["seed"],
+        },
+        "system": {"name": "klotski", "options": {}},
+        "cluster": {
+            "replicas": params["replicas"],
+            "group_batches": params["group_batches"],
+            "max_wait_s": params["max_wait_s"],
+            "slo_s": params["slo_s"],
+            "scheduler": params["scheduler"],
+        },
+        "serve": {
+            "arrival": "poisson",
+            "requests": params["requests"],
+            "rate_per_s": params["rate_per_s"],
+        },
+    })
+    classes = ("interactive", "standard", "batch")
+    requests = [
+        dataclasses.replace(r, slo_class=classes[r.request_id % len(classes)])
+        for r in build_requests(config)
+    ]
+    report = run_cluster(config, shared_cache={}, requests=requests)
+    return {
+        "scheduler": params["scheduler"],
+        "makespan_s": report.makespan_s,
+        "throughput_tok_s": report.throughput,
+        "goodput_tok_s": report.goodput,
+        "mean_ttft_s": report.mean_ttft_s,
+        "p95_ttft_s": report.percentile_ttft(95.0),
+        "p50_latency_s": report.percentile_latency(50.0),
+        "p99_latency_s": report.percentile_latency(99.0),
+        "classes": report.slo_class_metrics(),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Folds: cell results -> the grid/dict shapes the benches and report use.
 
@@ -800,6 +861,28 @@ def _table3_spec(full: bool) -> ExperimentSpec:
     )
 
 
+def _serving_spec(full: bool) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="serving",
+        title="Serving scenarios — group vs continuous batching",
+        runner="serving",
+        axes=(("scheduler", ("group", "continuous")),),
+        base={
+            "model": "mixtral-8x7b",
+            "env": "env1",
+            "prompt_len": 64,
+            "gen_len": 8 if not full else 16,
+            "seed": SEED,
+            "replicas": 3,
+            "group_batches": 4,
+            "max_wait_s": 2.0,
+            "slo_s": 60.0,
+            "requests": 48 if not full else 192,
+            "rate_per_s": 2.0,
+        },
+    )
+
+
 # ---------------------------------------------------------------------------
 # Markdown renderers (sections of docs/results.md).
 
@@ -1040,6 +1123,41 @@ def render_table3(run: ExperimentRun) -> str:
     return "\n".join(lines) + "\n\n" + note
 
 
+def render_serving(run: ExperimentRun) -> str:
+    """Serving-scenarios section: fleet headline plus per-class tails."""
+    by_scheduler = fold_by_axis(run, "scheduler")
+    lines = [
+        "| scheduler | throughput (tok/s) | TTFT mean / p95 (s) "
+        "| latency p50 / p99 (s) |",
+        "| --- | --- | --- | --- |",
+    ]
+    for name in ("group", "continuous"):
+        r = by_scheduler[name]
+        lines.append(
+            f"| {name} | {r['throughput_tok_s']:.2f} "
+            f"| {r['mean_ttft_s']:.2f} / {r['p95_ttft_s']:.2f} "
+            f"| {r['p50_latency_s']:.2f} / {r['p99_latency_s']:.2f} |"
+        )
+    lines.append("")
+    lines.append(
+        "Per-SLO-class tails (interactive / standard / batch tenants "
+        "cycled over one Poisson stream):"
+    )
+    lines.append("")
+    lines.append("| class | scheduler | TTFT p95 (s) | latency p99 (s) |")
+    lines.append("| --- | --- | --- | --- |")
+    for cls in ("interactive", "standard", "batch"):
+        for name in ("group", "continuous"):
+            c = by_scheduler[name]["classes"].get(cls)
+            if c is None:
+                continue
+            lines.append(
+                f"| {cls} | {name} | {c['p95_ttft_s']:.2f} "
+                f"| {c['p99_latency_s']:.2f} |"
+            )
+    return "\n".join(lines)
+
+
 # ---------------------------------------------------------------------------
 # Registrations (report order).
 
@@ -1118,6 +1236,17 @@ register_experiment(Experiment(
             "specs (§9.1).",
     make_spec=_table2_spec,
     render=render_table2,
+))
+register_experiment(Experiment(
+    name="serving",
+    title="Serving scenarios — group vs continuous batching",
+    caption="The same mixed-tenant request stream dispatched by the "
+            "group scheduler and the iteration-level continuous scheduler "
+            "(docs/architecture.md, 'Dispatch disciplines'); continuous "
+            "admission trades whole-group batching for per-step admission "
+            "and KV-pressure preemption.",
+    make_spec=_serving_spec,
+    render=render_serving,
 ))
 register_experiment(Experiment(
     name="table3",

@@ -24,6 +24,15 @@ class StreamingConfig:
         if self.sinks < 0 or self.window < 1:
             raise ValueError("sinks must be >= 0 and window >= 1")
 
+    def retained_tokens(self, total: int) -> int:
+        """Steady-state cache footprint after appending ``total`` tokens.
+
+        The continuous-batching scheduler uses this to size a running
+        request's KV footprint against the replica's memory budget
+        without materializing arrays.
+        """
+        return min(int(total), self.sinks + self.window)
+
 
 class LayerKVCache:
     """Per-layer cache of K and V with shape [kv_heads, seq, head_dim]."""
@@ -68,13 +77,16 @@ class LayerKVCache:
         if self.streaming is None:
             return
         # Never evict into the block just appended: its queries must still
-        # be able to attend to themselves (chunked-prefill behaviour).
-        keep = max(self.streaming.sinks + self.streaming.window, min_keep)
-        seq = self._k.shape[1]
-        if seq <= keep:
-            return
+        # be able to attend to themselves (chunked-prefill behaviour). The
+        # sink prefix is sacrosanct — a chunked prefill larger than the
+        # whole retention budget widens only the *trailing window* for
+        # this append (the next small append shrinks it back), never the
+        # sink/window split the StreamingConfig promised.
         sinks = self.streaming.sinks
-        window = keep - sinks
+        window = max(self.streaming.window, min_keep)
+        seq = self._k.shape[1]
+        if seq <= sinks + window:
+            return
         self._k = np.concatenate([self._k[:, :sinks], self._k[:, seq - window :]], axis=1)
         self._v = np.concatenate([self._v[:, :sinks], self._v[:, seq - window :]], axis=1)
 

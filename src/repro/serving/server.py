@@ -58,6 +58,9 @@ class CompletedRequest:
     request: Request
     dispatch_s: float
     completion_s: float
+    # Arrival -> first output token (dispatch + group prefill). Defaults
+    # to 0.0 so hand-built records in older call sites stay valid.
+    ttft_s: float = 0.0
 
     @property
     def latency_s(self) -> float:
@@ -76,13 +79,52 @@ class ServingReport:
     busy_s: float = 0.0
     makespan_s: float = 0.0
 
+    def invalidate_metrics(self) -> None:
+        """Mark cached metric arrays stale after an in-place mutation."""
+        self.__dict__["_dirty_tick"] = self.__dict__.get("_dirty_tick", 0) + 1
+
+    def _metrics(self) -> dict:
+        """Latency/TTFT arrays built once per record set.
+
+        Same pattern as ``ClusterReport._metrics``: the cache lives in an
+        undeclared instance attribute (dataclass ``__eq__`` is
+        unaffected), keyed on the record count plus an explicit dirty
+        tick for count-preserving mutations, so ``percentile_*`` and the
+        mean properties stop rebuilding the full array on every call.
+        """
+        tick = self.__dict__.get("_dirty_tick", 0)
+        cache = self.__dict__.get("_metric_cache")
+        if (
+            cache is not None
+            and cache["n"] == len(self.completed)
+            and cache["tick"] == tick
+        ):
+            return cache
+        cache = {
+            "n": len(self.completed),
+            "tick": tick,
+            "latencies": np.array([c.latency_s for c in self.completed]),
+            "ttfts": np.array([c.ttft_s for c in self.completed]),
+            "tokens": sum(c.request.gen_len for c in self.completed),
+        }
+        self.__dict__["_metric_cache"] = cache
+        return cache
+
     def latencies(self) -> np.ndarray:
-        return np.array([c.latency_s for c in self.completed])
+        return self._metrics()["latencies"]
+
+    def ttfts(self) -> np.ndarray:
+        return self._metrics()["ttfts"]
 
     def percentile_latency(self, q: float) -> float:
         if not self.completed:
             return 0.0
         return float(np.percentile(self.latencies(), q))
+
+    def percentile_ttft(self, q: float) -> float:
+        if not self.completed:
+            return 0.0
+        return float(np.percentile(self.ttfts(), q))
 
     @property
     def mean_latency_s(self) -> float:
@@ -91,17 +133,23 @@ class ServingReport:
         return float(self.latencies().mean())
 
     @property
+    def mean_ttft_s(self) -> float:
+        if not self.completed:
+            return 0.0
+        return float(self.ttfts().mean())
+
+    @property
     def throughput(self) -> float:
         if self.makespan_s <= 0:
             return 0.0
-        generated = sum(c.request.gen_len for c in self.completed)
-        return generated / self.makespan_s
+        return self._metrics()["tokens"] / self.makespan_s
 
     def summary(self) -> str:
         return (
             f"{len(self.completed)} requests, {self.throughput:.2f} tok/s, "
             f"mean latency {self.mean_latency_s:.1f} s, "
-            f"p95 {self.percentile_latency(95):.1f} s"
+            f"p95 {self.percentile_latency(95):.1f} s, "
+            f"TTFT p95 {self.percentile_ttft(95):.1f} s"
         )
 
 
@@ -117,11 +165,14 @@ class Server:
         self.scenario = scenario
         self.system = system
         self.batching = batching or BatchingConfig()
-        # Group processing times are memoized by (n_batches, prompt, gen):
-        # the simulated machine is deterministic per scenario seed.
-        self._group_time_cache: dict[tuple[int, int, int], float] = {}
+        # Group (total, prefill) times are memoized by (n_batches, prompt,
+        # gen): the simulated machine is deterministic per scenario seed.
+        self._group_time_cache: dict[tuple[int, int, int], tuple[float, float]] = {}
 
-    def _group_time(self, n_batches: int, prompt_len: int, gen_len: int) -> float:
+    def _group_time(
+        self, n_batches: int, prompt_len: int, gen_len: int
+    ) -> tuple[float, float]:
+        """``(total_s, prefill_s)`` of one group shape on this machine."""
         key = (n_batches, prompt_len, gen_len)
         if key not in self._group_time_cache:
             count("memo.server_group_time.miss")
@@ -130,7 +181,10 @@ class Server:
                     self.batching.batch_size, n_batches, prompt_len, gen_len
                 )
                 result = self.system.run(self.scenario.with_workload(workload))
-            self._group_time_cache[key] = result.metrics.total_time_s
+            self._group_time_cache[key] = (
+                result.metrics.total_time_s,
+                result.metrics.prefill_time_s,
+            )
         else:
             count("memo.server_group_time.hit")
         return self._group_time_cache[key]
@@ -154,11 +208,16 @@ class Server:
             del queue[:capacity]
             n_batches, prompt, gen = group_shape(group, self.batching.batch_size)
             start = max(now, machine_free)
-            duration = self._group_time(n_batches, prompt, gen)
+            duration, prefill = self._group_time(n_batches, prompt, gen)
             machine_free = start + duration
             for request in group:
                 report.completed.append(
-                    CompletedRequest(request, start, machine_free)
+                    CompletedRequest(
+                        request,
+                        start,
+                        machine_free,
+                        start + prefill - request.arrival_s,
+                    )
                 )
             report.busy_s += duration
             return machine_free

@@ -43,6 +43,10 @@ from repro.validation.goldens import (
     snapshot_timeline,
 )
 from repro.validation.invariants import Violation, check_cluster, check_timeline
+from repro.validation.scheduler_differential import (
+    SchedulerDifferentialResult,
+    run_scheduler_differential,
+)
 
 __all__ = [
     "Violation",
@@ -54,6 +58,8 @@ __all__ = [
     "ClusterDifferentialResult",
     "diff_cluster_reports",
     "run_cluster_differential",
+    "SchedulerDifferentialResult",
+    "run_scheduler_differential",
     "FuzzConfig",
     "FuzzReport",
     "run_fuzz",

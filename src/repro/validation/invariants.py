@@ -441,39 +441,56 @@ def check_cluster(
     # Only completed records occupy an execution slot — shed/failed
     # records are zero-duration bookkeeping stamps at the decision time
     # and may legitimately fall inside another group's interval.
+    # Under the continuous scheduler requests on one replica overlap by
+    # design (iteration-level admission interleaves them), so the
+    # serialization invariant does not apply; the slot discipline is
+    # instead bounded by busy time never exceeding the makespan.
+    continuous = getattr(report, "scheduler", "group") == "continuous"
     by_replica: dict[int, set[tuple[float, float]]] = {}
     for record in completed:
         by_replica.setdefault(record.replica_id, set()).add(
             (record.start_s, record.completion_s)
         )
     stats_by_id = {stats.replica_id: stats for stats in report.replicas}
-    for replica_id, intervals in sorted(by_replica.items()):
-        ordered = sorted(intervals)
-        for (s0, e0), (s1, _e1) in zip(ordered, ordered[1:]):
-            if s1 < e0 - _EPS:
+    if continuous:
+        for stats in report.replicas:
+            if stats.busy_s > report.makespan_s + _EPS:
                 violations.append(
                     Violation(
                         "replica-serialization",
-                        f"replica {replica_id}: group starting {s1!r} "
-                        f"overlaps group [{s0!r}, {e0!r}]",
+                        f"replica {stats.replica_id}: busy {stats.busy_s!r} s "
+                        f"exceeds makespan {report.makespan_s!r} s "
+                        "(overlapping decode steps)",
                     )
                 )
-        stats = stats_by_id.get(replica_id)
-        if stats is not None and stats.groups > len(ordered):
-            # More groups than distinct intervals: several groups shared
-            # one slot period. Only zero-duration groups may coincide
-            # legally, so with every interval positive this is definite
-            # double-booking (with zero-duration intervals present the
-            # duplicate cannot be attributed, so stay silent).
-            if all(end - start > _EPS for start, end in ordered):
-                violations.append(
-                    Violation(
-                        "replica-serialization",
-                        f"replica {replica_id}: {stats.groups} groups "
-                        f"share {len(ordered)} distinct positive-duration "
-                        "slot intervals (double-booked execution slot)",
+    else:
+        for replica_id, intervals in sorted(by_replica.items()):
+            ordered = sorted(intervals)
+            for (s0, e0), (s1, _e1) in zip(ordered, ordered[1:]):
+                if s1 < e0 - _EPS:
+                    violations.append(
+                        Violation(
+                            "replica-serialization",
+                            f"replica {replica_id}: group starting {s1!r} "
+                            f"overlaps group [{s0!r}, {e0!r}]",
+                        )
                     )
-                )
+            stats = stats_by_id.get(replica_id)
+            if stats is not None and stats.groups > len(ordered):
+                # More groups than distinct intervals: several groups shared
+                # one slot period. Only zero-duration groups may coincide
+                # legally, so with every interval positive this is definite
+                # double-booking (with zero-duration intervals present the
+                # duplicate cannot be attributed, so stay silent).
+                if all(end - start > _EPS for start, end in ordered):
+                    violations.append(
+                        Violation(
+                            "replica-serialization",
+                            f"replica {replica_id}: {stats.groups} groups "
+                            f"share {len(ordered)} distinct positive-duration "
+                            "slot intervals (double-booked execution slot)",
+                        )
+                    )
 
     # Downtime exclusion: a completed group's interval must never
     # overlap a downtime window of its replica — a crash aborts every

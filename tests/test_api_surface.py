@@ -19,13 +19,14 @@ EXPECTED_SURFACE = {
     "ClusterConfig": "dataclass(replicas, envs, router, router_options, "
                      "group_batches, max_wait_s, slo_s, partition_experts, "
                      "expert_slots_per_replica, prompt_quantum, engine, "
-                     "jobs, faults, retry)",
+                     "jobs, faults, retry, scheduler, queue_depth_stride)",
     "FAULT_PRESETS": "Registry",
     "HARDWARE_PRESETS": "Registry",
     "fault_preset_names": "def() -> 'list[str]'",
     "register_fault_preset": "def(name: 'str') -> 'Callable'",
     "MODEL_PRESETS": "Registry",
     "ROUTERS": "Registry",
+    "SCHEDULERS": "Registry",
     "Registry": "class",
     "RegistryError": "class",
     "RunConfig": "dataclass(scenario, system, cluster, serve)",
@@ -54,8 +55,10 @@ EXPECTED_SURFACE = {
     "register_hardware_preset": "def(name: 'str', spec) -> 'None'",
     "register_model_preset": "def(config) -> 'None'",
     "register_router": "def(name: 'str') -> 'Callable'",
+    "register_scheduler": "def(name: 'str') -> 'Callable'",
     "register_system": "def(name: 'str') -> 'Callable'",
     "router_names": "def() -> 'list[str]'",
+    "scheduler_names": "def() -> 'list[str]'",
     "run_cluster": "def(run: 'RunConfig', *, shared_cache: 'dict | None' = None,"
                    " requests: 'list | None' = None, engine: 'str | None' ="
                    " None, jobs: 'int | None' = None)",
@@ -77,6 +80,7 @@ EXPECTED_REGISTRY_NAMES = {
         "klotski(q)", "mixtral-offloading", "moe-infinity", "sida",
     ],
     "ROUTERS": ["expert-affinity", "least-outstanding", "round-robin"],
+    "SCHEDULERS": ["continuous", "group"],
     "ARRIVALS": ["bursty", "poisson", "trace"],
     "MODEL_PRESETS": [
         "mixtral-8x22b", "mixtral-8x7b", "opt-1.3b", "opt-6.7b",

@@ -326,6 +326,100 @@ class TestClusterReport:
         assert len(payload["requests"]) == 12
         assert len(payload["replicas"]) == 3
 
+    def test_metric_cache_keyed_on_dirty_tick(self):
+        # Regression: the metric cache was keyed only on len(records), so
+        # a count-preserving in-place mutation served stale percentiles.
+        from repro.cluster.report import ClusterReport, make_record
+
+        request = Request(request_id=0, arrival_s=0.0, prompt_len=32, gen_len=4)
+        record = make_record(request, 0, 1.0, 1.0, 3.0, 1.0)
+        report = ClusterReport(
+            router="round-robin", slo_s=60.0, records=[record], makespan_s=3.0
+        )
+        assert report.mean_latency_s == pytest.approx(3.0)
+        first = report.latencies()
+        assert report.latencies() is first  # cached across calls
+        report.records[0] = make_record(request, 0, 1.0, 1.0, 7.0, 1.0)
+        report.invalidate_metrics()
+        assert report.latencies() is not first
+        assert report.mean_latency_s == pytest.approx(7.0)
+
+    def test_metric_cache_refreshes_on_append(self):
+        from repro.cluster.report import ClusterReport, make_record
+
+        request = Request(request_id=0, arrival_s=0.0, prompt_len=32, gen_len=4)
+        report = ClusterReport(
+            router="round-robin",
+            slo_s=60.0,
+            records=[make_record(request, 0, 1.0, 1.0, 3.0, 1.0)],
+            makespan_s=3.0,
+        )
+        assert report.mean_latency_s == pytest.approx(3.0)
+        other = Request(request_id=1, arrival_s=0.0, prompt_len=32, gen_len=4)
+        report.records.append(make_record(other, 0, 1.0, 1.0, 5.0, 1.0))
+        assert report.mean_latency_s == pytest.approx(4.0)
+
+
+class TestQueueDepthStride:
+    def _run(self, small_mixtral, hw, stride):
+        replicas = build_cluster(
+            small_mixtral,
+            [hw] * 2,
+            BATCHING,
+            prompt_len=32,
+            gen_len=4,
+            prompt_quantum=16,
+            timeline_stride=stride,
+        )
+        sim = ClusterSimulator(
+            replicas, make_router("round-robin"), ClusterConfig(slo_s=60.0)
+        )
+        return sim.run(skewed_stream(small_mixtral, count=24))
+
+    def test_default_stride_keeps_every_sample(self, small_mixtral, hw):
+        base = self._run(small_mixtral, hw, 1)
+        explicit = self._run(small_mixtral, hw, 1)
+        assert [s.queue_depth_timeline for s in base.replicas] == [
+            s.queue_depth_timeline for s in explicit.replicas
+        ]
+        assert all(s.queue_depth_timeline for s in base.replicas)
+
+    def test_stride_bounds_timeline_without_changing_results(
+        self, small_mixtral, hw
+    ):
+        dense = self._run(small_mixtral, hw, 1)
+        sparse = self._run(small_mixtral, hw, 3)
+        # Decimation touches telemetry only: records are identical.
+        assert [r.request.request_id for r in sparse.records] == [
+            r.request.request_id for r in dense.records
+        ]
+        assert [r.completion_s for r in sparse.records] == [
+            r.completion_s for r in dense.records
+        ]
+        for d, s in zip(dense.replicas, sparse.replicas):
+            assert len(s.queue_depth_timeline) < len(d.queue_depth_timeline)
+            # Kept samples are every 3rd offered one, starting at the first.
+            assert s.queue_depth_timeline == d.queue_depth_timeline[::3]
+
+    def test_stride_identical_across_engines(self, small_mixtral, hw):
+        requests = skewed_stream(small_mixtral, count=24)
+        reports = []
+        for engine in ("serial", "batched"):
+            replicas = build_cluster(
+                small_mixtral,
+                [hw] * 2,
+                BATCHING,
+                prompt_len=32,
+                gen_len=4,
+                prompt_quantum=16,
+                timeline_stride=2,
+            )
+            sim = ClusterSimulator(
+                replicas, make_router("round-robin"), ClusterConfig(slo_s=60.0)
+            )
+            reports.append(sim.run(requests, engine=engine).to_dict())
+        assert reports[0] == reports[1]
+
 
 class TestHeterogeneousFleet:
     def test_mixed_environments(self, small_mixtral, hw):

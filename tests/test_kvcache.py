@@ -76,6 +76,48 @@ class TestStreamingEviction:
         with pytest.raises(ValueError):
             StreamingConfig(window=0)
 
+    def test_chunked_prefill_block_never_evicted_into(self):
+        # Regression: _evict used to apply the configured window to the
+        # block just appended, dropping tokens whose queries were still
+        # in flight. min_keep widens the window for that one append.
+        cache = LayerKVCache(1, 2, StreamingConfig(sinks=2, window=3))
+        cache.append(kv(10, heads=1, dim=2), kv(10, heads=1, dim=2))
+        assert len(cache) == 10  # whole prefill chunk retained
+
+    def test_next_append_shrinks_back_to_budget(self):
+        cache = LayerKVCache(1, 2, StreamingConfig(sinks=2, window=3))
+        k = np.arange(10, dtype=float).reshape(1, 10, 1).repeat(2, axis=2)
+        cache.append(k, k.copy())
+        kept, _ = cache.append(
+            np.full((1, 1, 2), 10.0), np.full((1, 1, 2), 10.0)
+        )
+        # Exactly sinks + window survive: sink prefix, trailing window.
+        assert len(cache) == 5
+        assert list(kept[0, :, 0]) == [0.0, 1.0, 8.0, 9.0, 10.0]
+
+    def test_exact_budget_boundary_is_noop(self):
+        # seq == sinks + window must not evict (the <= boundary).
+        cache = LayerKVCache(1, 2, StreamingConfig(sinks=2, window=3))
+        cache.append(kv(3, heads=1, dim=2), kv(3, heads=1, dim=2))
+        cache.append(kv(2, heads=1, dim=2), kv(2, heads=1, dim=2))
+        assert len(cache) == 5
+        # One more token crosses the boundary and evicts back to 5.
+        cache.append(kv(1, heads=1, dim=2), kv(1, heads=1, dim=2))
+        assert len(cache) == 5
+        assert cache.total_tokens == 6
+
+    def test_retained_tokens_matches_cache_length(self):
+        streaming = StreamingConfig(sinks=2, window=3)
+        cache = LayerKVCache(1, 2, streaming)
+        total = 0
+        for chunk in (3, 1, 4, 1, 1):
+            cache.append(kv(chunk, heads=1, dim=2), kv(chunk, heads=1, dim=2))
+            total += chunk
+        # After a small (<= window) append the analytic footprint the
+        # scheduler uses agrees with the materialized cache.
+        assert streaming.retained_tokens(total) == len(cache) == 5
+        assert streaming.retained_tokens(3) == 3  # saturates below budget
+
 
 class TestModelKVCache:
     def test_per_layer_independence(self, rng):

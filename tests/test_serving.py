@@ -177,6 +177,54 @@ class TestServingReportEdges:
         for q in (0, 50, 95, 99, 100):
             assert report.percentile_latency(q) == pytest.approx(3.0)
 
+    def test_metric_arrays_cached_across_calls(self):
+        # Regression: percentile_* used to rebuild the latency array on
+        # every call; the arrays are now built once per record set.
+        requests = [Request(i, float(i), 32, 4) for i in range(4)]
+        report = ServingReport(
+            completed=[CompletedRequest(r, r.arrival_s + 1.0, r.arrival_s + 3.0)
+                       for r in requests],
+            makespan_s=7.0,
+        )
+        first = report.latencies()
+        assert report.latencies() is first
+        assert report.ttfts() is report.ttfts()
+        # Appending a record invalidates via the count key.
+        report.completed.append(CompletedRequest(Request(9, 0.0, 32, 4), 1.0, 9.0))
+        assert report.latencies() is not first
+        assert len(report.latencies()) == 5
+
+    def test_invalidate_metrics_after_in_place_mutation(self):
+        request = Request(0, 0.0, 32, 4)
+        report = ServingReport(completed=[CompletedRequest(request, 1.0, 3.0)])
+        assert report.mean_latency_s == pytest.approx(3.0)
+        # Count-preserving mutation: same length, different content.
+        report.completed[0] = CompletedRequest(request, 1.0, 5.0)
+        report.invalidate_metrics()
+        assert report.mean_latency_s == pytest.approx(5.0)
+
+    def test_ttft_metrics(self):
+        requests = [Request(i, float(i), 32, 4) for i in range(3)]
+        report = ServingReport(
+            completed=[
+                CompletedRequest(r, r.arrival_s + 1.0, r.arrival_s + 4.0, 1.5)
+                for r in requests
+            ],
+            makespan_s=7.0,
+        )
+        assert report.mean_ttft_s == pytest.approx(1.5)
+        assert report.percentile_ttft(95) == pytest.approx(1.5)
+        assert "TTFT p95" in report.summary()
+
+    def test_server_stamps_ttft_below_latency(self, server):
+        requests = generate_requests(
+            ArrivalConfig(rate_per_s=4.0, prompt_len_mean=32, gen_len=4, seed=2),
+            12,
+        )
+        report = server.simulate(requests)
+        for c in report.completed:
+            assert 0.0 < c.ttft_s <= c.latency_s
+
 
 class TestBurstyArrivals:
     def test_count_order_determinism(self):
