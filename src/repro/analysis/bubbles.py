@@ -11,7 +11,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.runtime.schedule import GPU, PHASE_ATTENTION, PHASE_EXPERT, PHASE_GATE
+import numpy as np
+
+from repro.runtime.schedule import (
+    GPU,
+    PHASE_ATTENTION,
+    PHASE_EXPERT,
+    PHASE_GATE,
+    RESOURCE_CODES,
+)
 from repro.runtime.timeline import Timeline
 
 
@@ -44,16 +52,26 @@ class BubbleReport:
 
 
 def analyze_bubbles(timeline: Timeline) -> BubbleReport:
-    """Classify every GPU idle gap of the timeline."""
-    inter = intra = other = 0.0
-    for gap in timeline.idle_gaps(GPU):
-        phase = gap.before_op.op.phase
-        if phase in (PHASE_EXPERT, PHASE_GATE):
-            intra += gap.duration
-        elif phase == PHASE_ATTENTION:
-            inter += gap.duration
-        else:
-            other += gap.duration
+    """Classify every GPU idle gap of the timeline.
+
+    Compiled-executor timelines take an array-backed path over the lazy
+    view (no :class:`~repro.runtime.timeline.ExecutedOp` materialization);
+    its per-class sums are accumulated in the same gap order with the
+    same arithmetic as the legacy scan, so both paths are bit-identical.
+    """
+    view = timeline._view
+    if view is not None and not timeline.executed_is_materialized:
+        inter, intra, other = _classify_gaps_arrays(view)
+    else:
+        inter = intra = other = 0.0
+        for gap in timeline.idle_gaps(GPU):
+            phase = gap.before_op.op.phase
+            if phase in (PHASE_EXPERT, PHASE_GATE):
+                intra += gap.duration
+            elif phase == PHASE_ATTENTION:
+                inter += gap.duration
+            else:
+                other += gap.duration
     return BubbleReport(
         total_time=timeline.makespan,
         busy_time=timeline.busy_time.get(GPU, 0.0),
@@ -61,6 +79,31 @@ def analyze_bubbles(timeline: Timeline) -> BubbleReport:
         intra_layer=intra,
         other_idle=other,
     )
+
+
+def _classify_gaps_arrays(view) -> tuple[float, float, float]:
+    """Array-backed gap scan over a compiled-executor view.
+
+    GPU ops run FIFO, so issue order equals time order and the idle
+    frontier is simply the previous op's end — the gap array is one
+    vectorized subtraction. Only the (few) significant gaps are walked
+    in Python, in the same order the legacy scan visits them.
+    """
+    compiled = view.compiled
+    ids = np.flatnonzero(compiled.resources == RESOURCE_CODES[GPU])
+    inter = intra = other = 0.0
+    if ids.size >= 2:
+        gaps = view.starts[ids][1:] - view.ends[ids][:-1]
+        phases = compiled._schedule._phases
+        for k in np.flatnonzero(gaps > 1e-9).tolist():
+            phase = phases[ids[k + 1]]
+            if phase in (PHASE_EXPERT, PHASE_GATE):
+                intra += float(gaps[k])
+            elif phase == PHASE_ATTENTION:
+                inter += float(gaps[k])
+            else:
+                other += float(gaps[k])
+    return inter, intra, other
 
 
 def block_time(timeline: Timeline, layer: int, step: int | None = None) -> float:

@@ -51,6 +51,7 @@ from repro.api.registry import (
     FAULT_PRESETS,
     HARDWARE_PRESETS,
     MODEL_PRESETS,
+    PASSES,
     ROUTERS,
     SCHEDULERS,
     SYSTEMS,
@@ -60,10 +61,12 @@ from repro.api.registry import (
     fault_preset_names,
     hardware_preset_names,
     model_preset_names,
+    pass_names,
     register_arrivals,
     register_fault_preset,
     register_hardware_preset,
     register_model_preset,
+    register_pass,
     register_router,
     register_scheduler,
     register_system,
@@ -111,6 +114,7 @@ __all__ = [
     "HARDWARE_PRESETS",
     "FAULT_PRESETS",
     "SCHEDULERS",
+    "PASSES",
     "register_system",
     "register_router",
     "register_arrivals",
@@ -118,6 +122,7 @@ __all__ = [
     "register_hardware_preset",
     "register_fault_preset",
     "register_scheduler",
+    "register_pass",
     "system_names",
     "router_names",
     "arrival_names",
@@ -125,6 +130,7 @@ __all__ = [
     "hardware_preset_names",
     "fault_preset_names",
     "scheduler_names",
+    "pass_names",
     # builders / runners
     "build_scenario",
     "build_system",

@@ -36,6 +36,7 @@ from repro.api.registry import (
     FAULT_PRESETS,
     HARDWARE_PRESETS,
     MODEL_PRESETS,
+    PASSES,
     ROUTERS,
     SCHEDULERS,
     SYSTEMS,
@@ -397,14 +398,24 @@ class SystemConfig:
         name: a :data:`~repro.api.registry.SYSTEMS` registry name.
         options: JSON-safe keyword arguments for the registered factory
             (e.g. ``{"quantize": true}`` for ``klotski``).
+        passes: ordered :data:`~repro.api.registry.PASSES` queue applied
+            to the built schedule before execution (empty: run the
+            schedule as authored — the default, byte-identical to
+            configs predating the optimizer).
     """
 
     name: str = "klotski"
     options: dict = field(default_factory=dict)
+    passes: tuple = ()
 
     def to_dict(self) -> dict:
-        """Plain-JSON form."""
-        return {"name": self.name, "options": _copy_ref(dict(self.options))}
+        """Plain-JSON form (``passes`` is omitted when empty so existing
+        config hashes and goldens are unchanged by the field's
+        existence)."""
+        data = {"name": self.name, "options": _copy_ref(dict(self.options))}
+        if self.passes:
+            data["passes"] = list(self.passes)
+        return data
 
     @classmethod
     def from_dict(
@@ -418,7 +429,7 @@ class SystemConfig:
         if not isinstance(data, dict):
             own.add(path, f"expected a dict or name, got {type(data).__name__}")
             data = {}
-        _check_keys(data, ("name", "options"), path, own)
+        _check_keys(data, ("name", "options", "passes"), path, own)
         name = data.get("name", cls.name)
         if not isinstance(name, str):
             own.add(_join(path, "name"), "expected a system name string")
@@ -427,7 +438,17 @@ class SystemConfig:
         if not isinstance(options, dict):
             own.add(_join(path, "options"), "expected an options dict")
             options = {}
-        config = cls(name=name, options=dict(options))
+        passes = data.get("passes", ())
+        if isinstance(passes, str):
+            passes = tuple(p for p in passes.split(",") if p)
+        elif isinstance(passes, (list, tuple)) and all(
+            isinstance(p, str) for p in passes
+        ):
+            passes = tuple(passes)
+        else:
+            own.add(_join(path, "passes"), "expected a list of pass names")
+            passes = ()
+        config = cls(name=name, options=dict(options), passes=passes)
         own.items.extend(
             f"{p}: {m}" if p else m for p, m in config._validate(path)
         )
@@ -436,14 +457,25 @@ class SystemConfig:
         return config
 
     def _validate(self, path: str) -> list[tuple[str, str]]:
+        problems = []
         if self.name not in SYSTEMS:
-            return [
+            problems.append(
                 (
                     _join(path, "name"),
                     unknown_name_message("system", self.name, SYSTEMS.names()),
                 )
-            ]
-        return []
+            )
+        for entry in self.passes:
+            if entry not in PASSES:
+                problems.append(
+                    (
+                        _join(path, "passes"),
+                        unknown_name_message(
+                            "schedule pass", entry, PASSES.names()
+                        ),
+                    )
+                )
+        return problems
 
     def build(self):
         """Instantiate the system through the registry.
@@ -458,7 +490,10 @@ class SystemConfig:
 
         factory = SYSTEMS.get(self.name)
         try:
-            return factory(**self.options)
+            system = factory(**self.options)
+            if self.passes:
+                system.passes = tuple(self.passes)
+            return system
         except TypeError:
             # Factories advertise their option names via __config_options__
             # (e.g. the KlotskiOptions fields); otherwise fall back to the

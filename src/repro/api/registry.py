@@ -191,6 +191,8 @@ FAULT_PRESETS = Registry("fault preset", providers=("repro.cluster.faults",))
 
 SCHEDULERS = Registry("scheduler", providers=("repro.serving.scheduler",))
 
+PASSES = Registry("schedule pass", providers=("repro.passes.library",))
+
 
 def register_system(name: str) -> Callable:
     """Decorator: register a ``factory(**options) -> InferenceSystem``.
@@ -278,6 +280,21 @@ def register_scheduler(name: str) -> Callable:
     return SCHEDULERS.register(name)
 
 
+def register_pass(name: str) -> Callable:
+    """Decorator: register a ``SchedulePass`` for the optimizer pipeline.
+
+    Args:
+        name: the registry key ``SystemConfig.passes`` / ``optimize
+            --passes`` resolve.
+
+    Returns:
+        The decorator (registers the entry and returns it unchanged).
+        Entries are zero-argument factories (typically the pass class
+        itself) instantiated per :class:`repro.passes.PassPipeline` run.
+    """
+    return PASSES.register(name)
+
+
 def system_names() -> list[str]:
     """Registered inference-system names."""
     return SYSTEMS.names()
@@ -311,3 +328,8 @@ def fault_preset_names() -> list[str]:
 def scheduler_names() -> list[str]:
     """Registered cluster-scheduler names."""
     return SCHEDULERS.names()
+
+
+def pass_names() -> list[str]:
+    """Registered schedule-pass names."""
+    return PASSES.names()

@@ -79,6 +79,7 @@ from repro.errors import ConfigValidationError, OutOfMemoryError
 from repro.hardware.calibrate import TimingCache, measure
 from repro.obs import build_manifest
 from repro.obs.export import save_trace
+from repro.passes import DEFAULT_PASS_QUEUE
 from repro.runtime.traceexport import save_chrome_trace
 
 # perf_counter() at entry to main(); the manifest's wall_s baseline.
@@ -157,6 +158,25 @@ def _scenario(args, num_batches: int = 1):
     return build_scenario(_run_config(args, n=num_batches).scenario)
 
 
+def _passes_from_arg(value) -> tuple:
+    """Parse a ``--passes`` value: None (disabled), ``default``, or a
+    comma-separated list of registered pass names."""
+    if value is None:
+        return ()
+    if value in ("", "default"):
+        return DEFAULT_PASS_QUEUE
+    return tuple(p.strip() for p in value.split(",") if p.strip())
+
+
+def _with_passes(config: RunConfig, passes: tuple) -> RunConfig:
+    """Pin a pass queue onto the config's system section, re-validated
+    (unknown pass names get the registry's typo-suggesting report)."""
+    if not passes:
+        return config
+    system = dataclasses.replace(config.system, passes=tuple(passes))
+    return dataclasses.replace(config, system=system).validate()
+
+
 def cmd_plan(args) -> int:
     scenario = _scenario(args)
     engine = KlotskiEngine(scenario)
@@ -200,6 +220,7 @@ def cmd_run(args) -> int:
         args, n=args.n or 1, system="klotski",
         options={"quantize": True} if args.quantize else {},
     )
+    config = _with_passes(config, _passes_from_arg(args.passes))
     _maybe_enable_trace(args)
     scenario = build_scenario(config.scenario)
     # --set scenario.n wins over --n (it is applied last); with neither
@@ -213,6 +234,9 @@ def cmd_run(args) -> int:
         # Any registered factory yielding a KlotskiSystem gets the
         # planner path — the engine replans n when none was pinned.
         engine = KlotskiEngine(scenario, system.options)
+        # The engine builds its own system instance; carry the config's
+        # pass queue over so the planner path optimizes too.
+        engine.system.passes = system.passes
         try:
             result = engine.run(n=explicit_n)
         except OutOfMemoryError as exc:
@@ -243,11 +267,16 @@ def cmd_run(args) -> int:
         payload["prefetch_participation"] = float(
             stats.participation_rate().mean()
         )
+    if result.passes is not None:
+        payload["passes"] = result.passes.to_dict()
     if args.json:
         emit_json("run", payload, config=config)
         return 0
     print(result.metrics.summary())
     print(bubbles.summary())
+    if result.passes is not None:
+        for decision in result.passes.decisions:
+            print(f"pass {decision.summary()}")
     if result.prefetcher is not None:
         stats = result.prefetcher.stats
         print(
@@ -261,6 +290,47 @@ def _oom_result(system: str, exc: OutOfMemoryError):
     from repro.systems import SystemResult
 
     return SystemResult(system=system, metrics=None, oom=True, oom_reason=str(exc))
+
+
+def cmd_optimize(args) -> int:
+    """Run the pass pipeline on one scenario; report per-pass deltas."""
+    config = _run_config(args, n=args.n or 1, system=args.system)
+    config = _with_passes(
+        config, _passes_from_arg(args.passes) or DEFAULT_PASS_QUEUE
+    )
+    scenario = build_scenario(config.scenario)
+    system = build_system(config.system)
+    result = system.run_safe(scenario)
+    if result.oom:
+        payload = {"oom": True, "oom_reason": result.oom_reason}
+        if args.json:
+            emit_json("optimize", payload, config=config)
+        else:
+            print(f"OOM: {result.oom_reason}")
+        return 0
+    payload = result.passes.to_dict()
+    payload["oom"] = False
+    payload["system"] = system.name
+    payload["throughput_tok_s"] = result.metrics.throughput
+    if args.json:
+        emit_json("optimize", payload, config=config)
+        return 0
+    base, opt = payload["baseline"], payload["optimized"]
+    print(
+        f"{system.name}: {len(result.passes.decisions)} passes, "
+        f"{len(result.passes.accepted)} accepted"
+    )
+    for decision in result.passes.decisions:
+        print(f"  {decision.summary()}")
+    print(
+        f"makespan        {base['makespan_s']:.4f} s -> "
+        f"{opt['makespan_s']:.4f} s"
+    )
+    print(
+        f"bubble fraction {base['bubble_fraction']:7.1%} -> "
+        f"{opt['bubble_fraction']:7.1%}"
+    )
+    return 0
 
 
 def cmd_compare(args) -> int:
@@ -600,6 +670,40 @@ def _bench_cluster(num_requests: int, num_replicas: int) -> dict:
     return cell
 
 
+def _bench_optimize() -> dict:
+    """Time the pass pipeline on the golden klotski schedule.
+
+    Reports the schedule build cost, the pipeline's own wall overhead
+    (baseline execution + every candidate's verification), and the
+    makespan it buys, so BENCH.json tracks both the optimizer's cost
+    and its benefit.
+    """
+    from repro.passes import PassPipeline
+    from repro.validation.pass_differential import golden_pass_configs
+
+    config = golden_pass_configs()[0]
+    scenario = build_scenario(config.scenario)
+    system = build_system(config.system)
+    _clear_perf_memos()
+    t0 = time.perf_counter()
+    schedule = system.build(scenario).schedule
+    build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    result = PassPipeline().run(schedule, scenario.hardware)
+    pipeline_s = time.perf_counter() - t0
+    return {
+        "params": {
+            "system": config.system.name,
+            "passes": list(DEFAULT_PASS_QUEUE),
+        },
+        "build_s": round(build_s, 4),
+        "pipeline_s": round(pipeline_s, 4),
+        "baseline_makespan_s": round(result.baseline_makespan, 6),
+        "optimized_makespan_s": round(result.makespan, 6),
+        "accepted": list(result.accepted),
+    }
+
+
 # The paper's full-scale fig10 operating point (Mixtral-8x7B on Env1,
 # bs = 64, n = 15, gen = 32) — the perf-smoke's end-to-end reference cell.
 _BENCH_FULLSCALE_PARAMS = {
@@ -700,6 +804,13 @@ def _compare_bench(payload: dict, baseline: dict, tolerance: float) -> dict:
         for key in ("serial_s", "sharded_s", "continuous_s"):
             if key in clus and key in base_clus:
                 add(f"cluster.{key}", base_clus[key] * 1e3, clus[key] * 1e3)
+    opt, base_opt = payload.get("optimize"), baseline.get("optimize")
+    if opt and base_opt and "pipeline_s" in opt and "pipeline_s" in base_opt:
+        add(
+            "optimize.pipeline_s",
+            base_opt["pipeline_s"] * 1e3,
+            opt["pipeline_s"] * 1e3,
+        )
     return {
         "tolerance": tolerance,
         "rows": rows,
@@ -760,6 +871,17 @@ def cmd_bench(args) -> int:
             print(
                 f"fullscale_fig10: cold {cold_s:.3f} s, "
                 f"warm (shared routing) {warm_s:.3f} s"
+            )
+    if not args.skip_optimize_cell:
+        cell = _bench_optimize()
+        payload["optimize"] = cell
+        if not args.json:
+            print(
+                f"optimize: build {cell['build_s']:.3f} s, "
+                f"pipeline {cell['pipeline_s']:.3f} s, makespan "
+                f"{cell['baseline_makespan_s']:.4f} s -> "
+                f"{cell['optimized_makespan_s']:.4f} s "
+                f"(accepted: {', '.join(cell['accepted']) or 'none'})"
             )
     if args.cluster:
         cell = _bench_cluster(args.cluster_requests, args.cluster_replicas)
@@ -823,8 +945,15 @@ def cmd_validate(args) -> int:
         engine=args.engine,
         cluster_every=args.cluster_every,
         chaos=chaos > 0,
+        passes=args.passes and chaos == 0,
     )
     report = run_fuzz(config)
+    if config.passes:
+        # Beyond the fuzzed cases, prove the pass contract on the fixed
+        # golden pipeline schedules (the ones tests/test_goldens.py pins).
+        from repro.validation.pass_differential import run_golden_pass_cases
+
+        run_golden_pass_cases(report)
     if args.json:
         emit_json("validate", report.to_dict(), seed=args.seed)
     else:
@@ -920,11 +1049,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=None, help="batch-group size (default: planned)")
     p.add_argument("--quantize", action="store_true")
     p.add_argument(
+        "--passes", nargs="?", const="default", default=None, metavar="P1,P2",
+        help="optimize the schedule with this comma-separated pass queue "
+        f"before execution (bare flag: {','.join(DEFAULT_PASS_QUEUE)})",
+    )
+    p.add_argument(
         "--trace",
         help="write a merged Chrome trace (self spans + simulated lanes) here",
     )
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_run)
+
+    p = scenario_parser(
+        "optimize",
+        "run the schedule-optimization pass pipeline, report per-pass deltas",
+    )
+    p.add_argument("--n", type=int, default=None, help="batch-group size")
+    p.add_argument(
+        "--system", default="klotski", choices=system_names(),
+        help="inference system whose schedule to optimize",
+    )
+    p.add_argument(
+        "--passes", default="default", metavar="P1,P2",
+        help="comma-separated pass queue "
+        f"(default: {','.join(DEFAULT_PASS_QUEUE)})",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.set_defaults(func=cmd_optimize)
 
     p = scenario_parser("compare", "compare against the baselines")
     p.add_argument("--n", type=int, default=None)
@@ -1067,6 +1218,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the full-scale fig10 reference cell",
     )
     p.add_argument(
+        "--skip-optimize-cell", action="store_true",
+        help="skip the pass-pipeline overhead cell",
+    )
+    p.add_argument(
         "--cluster", action="store_true",
         help="also time the fleet-scale cluster cell "
         "(serial + sharded engines on one request stream)",
@@ -1123,6 +1278,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run N chaos cases instead: every case is a cluster run under "
         "a fuzzed FaultConfig, checked for request conservation and "
         "fault determinism (failures embed a replayable config blob)",
+    )
+    p.add_argument(
+        "--passes", action="store_true",
+        help="additionally run the schedule-optimization pass pipeline on "
+        "the golden schedules and every fuzzed pipeline case, proving "
+        "op-multiset conservation and makespan monotonicity",
     )
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_validate)

@@ -1,0 +1,42 @@
+"""``repro.passes`` — invariant-verified schedule-optimization passes.
+
+The subsystem that tries to *beat* the paper's schedule instead of just
+replaying it: an ordered queue of local optimizer passes over the
+schedule IR, where every candidate must survive freeze-time validation,
+op-multiset conservation, a full executor replay (memory included), and
+:func:`repro.validation.check_timeline` — and must not regress makespan
+— before it replaces the current schedule. See
+``docs/architecture.md#pass-pipeline``.
+
+Entry points: ``repro.cli optimize``, ``repro.cli run --passes``,
+``SystemConfig.passes`` in any run config, and the
+``repro.validation.pass_differential`` harness.
+"""
+
+from repro.passes.base import PassContext, PassResult, SchedulePass
+from repro.passes.pipeline import (
+    DEFAULT_PASS_QUEUE,
+    PassDecision,
+    PassPipeline,
+    PipelineResult,
+    resolve_passes,
+)
+from repro.passes.rewrite import (
+    greedy_order,
+    permute_schedule,
+    rebuild_schedule,
+)
+
+__all__ = [
+    "PassContext",
+    "PassResult",
+    "SchedulePass",
+    "PassDecision",
+    "PassPipeline",
+    "PipelineResult",
+    "DEFAULT_PASS_QUEUE",
+    "resolve_passes",
+    "greedy_order",
+    "permute_schedule",
+    "rebuild_schedule",
+]

@@ -469,14 +469,37 @@ class Schedule:
         return self.add(DISK_IO, duration, label, **kw)
 
     def validate(self) -> None:
-        """Check dependency sanity (ids are checked on add; re-verify)."""
+        """Re-verify row sanity checked on :meth:`add` but not on the
+        trusted bulk paths (:meth:`extend_raw` / :meth:`append_row`):
+        every dependency must reference a strictly earlier op and every
+        duration must be non-negative.
+
+        Raises:
+            ScheduleError: naming the first offending op.
+        """
+        if self._dur and min(self._dur) < 0:
+            bad = next(i for i, d in enumerate(self._dur) if d < 0)
+            raise ScheduleError(
+                f"op {bad} has negative duration {self._dur[bad]!r}"
+            )
         for op_id, deps in enumerate(self._deps):
-            for dep in deps:
-                if dep >= op_id:
-                    raise ScheduleError(f"op {op_id} has forward dep {dep}")
+            # min/max run at C speed; only a failing op pays for the
+            # per-dep scan that names the offender.
+            if deps and not (0 <= min(deps) and max(deps) < op_id):
+                bad = next(d for d in deps if not 0 <= d < op_id)
+                kind = "forward or self" if bad >= op_id else "negative"
+                raise ScheduleError(
+                    f"op {op_id} has {kind} dependency {bad}"
+                )
 
     def freeze(self) -> CompiledSchedule:
-        """Compile to the structure-of-arrays form (cached until mutated)."""
+        """Compile to the structure-of-arrays form (cached until mutated).
+
+        Runs :meth:`validate` first, so malformed rows — dangling or
+        forward deps, negative durations — fail here with a clear error
+        instead of corrupting the executor's replay mid-run.
+        """
         if self._frozen is None:
+            self.validate()
             self._frozen = CompiledSchedule(self)
         return self._frozen

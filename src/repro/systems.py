@@ -62,6 +62,9 @@ class SystemResult:
     placement: PlacementPlan | None = None
     oom: bool = False
     oom_reason: str = ""
+    # Per-pass accept/reject provenance when the optimizer pipeline ran
+    # (a repro.passes.PipelineResult); None when passes were disabled.
+    passes: object | None = None
 
     @property
     def throughput(self) -> float:
@@ -81,6 +84,11 @@ class InferenceSystem:
     # oracle stream (e.g. SiDA's offline predictor) get a fresh instance
     # per batch instead of one shared learner.
     fresh_prefetcher_per_batch = False
+    # Ordered schedule-optimization pass queue (repro.passes registry
+    # names) applied between build and execute; set by
+    # SystemConfig.build() when the config carries a non-empty
+    # ``passes`` list. Empty: execute the schedule exactly as authored.
+    passes: tuple = ()
 
     def cache_key(self) -> tuple:
         """Hashable fingerprint of this system's configuration.
@@ -89,7 +97,8 @@ class InferenceSystem:
         memo), so it must uniquely identify the simulated behaviour:
         subclasses with constructor parameters extend it.
         """
-        return (type(self).__module__, type(self).__qualname__, self.name)
+        base = (type(self).__module__, type(self).__qualname__, self.name)
+        return base + (("passes",) + tuple(self.passes) if self.passes else ())
 
     def make_placement(self, scenario: Scenario, group: Workload) -> PlacementPlan:
         raise NotImplementedError
@@ -180,11 +189,33 @@ class InferenceSystem:
         schedule, build = built.schedule, built.build
         prefetcher, placement = built.prefetcher, built.placement
 
-        with span("system.execute", {"system": self.name}):
-            timeline = Executor(scenario.hardware).run(schedule)
+        pipeline_result = None
+        if self.passes:
+            # Optimize between build and execute; the pipeline executes
+            # the baseline (and every accepted candidate) itself, so the
+            # final timeline comes straight from it. Builder op-id
+            # references are remapped through the composed op_map.
+            from repro.passes import PassPipeline
+
+            with span("system.optimize", {"system": self.name}):
+                pipeline_result = PassPipeline(self.passes).run(
+                    schedule, scenario.hardware
+                )
+            timeline = pipeline_result.timeline
+            first_step_end = (
+                pipeline_result.remap_op(build.step_last_op[0])
+                if build.step_last_op
+                else None
+            )
+        else:
+            with span("system.execute", {"system": self.name}):
+                timeline = Executor(scenario.hardware).run(schedule)
+            first_step_end = (
+                build.step_last_op[0] if build.step_last_op else None
+            )
         prefill_end = 0.0
-        if build.step_last_op:
-            prefill_end = timeline.end_of(build.step_last_op[0])
+        if first_step_end is not None:
+            prefill_end = timeline.end_of(first_step_end)
         metrics = metrics_from_timeline(
             timeline,
             system=self.name,
@@ -203,6 +234,7 @@ class InferenceSystem:
             build=build,
             prefetcher=prefetcher,
             placement=placement,
+            passes=pipeline_result,
         )
 
     def run_safe(self, scenario: Scenario) -> SystemResult:

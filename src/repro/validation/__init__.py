@@ -10,6 +10,10 @@ The correctness harness every refactor and optimization PR leans on:
 * :mod:`repro.validation.differential` — run one schedule under both
   the legacy and compiled executor engines and diff every observable,
   including OOM error payloads;
+* :mod:`repro.validation.pass_differential` — run the schedule-
+  optimization pass pipeline (:mod:`repro.passes`) and independently
+  re-prove op-multiset conservation, timeline invariants, and makespan
+  monotonicity (``repro.cli validate --passes``);
 * :mod:`repro.validation.cluster_differential` — run one cluster config
   under the serial, batched, and sharded fleet engines and diff the
   reports bit-for-bit (records, counters, telemetry, percentiles);
@@ -43,6 +47,11 @@ from repro.validation.goldens import (
     snapshot_timeline,
 )
 from repro.validation.invariants import Violation, check_cluster, check_timeline
+from repro.validation.pass_differential import (
+    PassDifferentialResult,
+    check_conservation,
+    run_pass_differential,
+)
 from repro.validation.scheduler_differential import (
     SchedulerDifferentialResult,
     run_scheduler_differential,
@@ -60,6 +69,9 @@ __all__ = [
     "run_cluster_differential",
     "SchedulerDifferentialResult",
     "run_scheduler_differential",
+    "PassDifferentialResult",
+    "check_conservation",
+    "run_pass_differential",
     "FuzzConfig",
     "FuzzReport",
     "run_fuzz",

@@ -79,6 +79,11 @@ class FuzzConfig:
             downtime exclusion, outcome-aware accounting) plus
             byte-for-byte determinism; failures still carry replayable
             config blobs with the fault spec inline.
+        passes: when True, every pipeline case additionally runs the
+            schedule-optimization pass pipeline through
+            :func:`~repro.validation.run_pass_differential` — proving
+            op-multiset conservation, timeline invariants, and makespan
+            monotonicity on fuzzed schedules (``validate --passes``).
     """
 
     cases: int = 25
@@ -86,6 +91,7 @@ class FuzzConfig:
     engine: str = "both"
     cluster_every: int = 4
     chaos: bool = False
+    passes: bool = False
 
     def __post_init__(self):
         if self.cases < 0:
@@ -333,7 +339,8 @@ def random_run_config(rng: np.random.Generator) -> RunConfig:
 
 
 def run_pipeline_case(
-    case_seed: int, engine: str, report: FuzzReport, label: str = ""
+    case_seed: int, engine: str, report: FuzzReport, label: str = "",
+    *, passes: bool = False,
 ) -> None:
     """Run one pipeline case and fold its outcome into ``report``.
 
@@ -343,6 +350,8 @@ def run_pipeline_case(
         report: accumulator updated in place.
         label: replay coordinates prefixed to failure tags (the campaign
             runner passes ``--seed``/case-index information here).
+        passes: additionally push the schedule through the optimizer
+            pass pipeline and record any pass-differential violations.
     """
     rng = np.random.default_rng(case_seed)
     config = random_run_config(rng)
@@ -388,6 +397,18 @@ def run_pipeline_case(
         _near_oom_probe(
             schedule, scenario, config, rng, tag, report,
             peak=timeline.memory_peak.get("vram", 0),
+        )
+    if passes:
+        from repro.validation.pass_differential import run_pass_differential
+
+        diff = run_pass_differential(
+            schedule, scenario.hardware, capacities=capacities
+        )
+        report.record(
+            f"{tag} [passes]",
+            config,
+            violations=[str(v) for v in diff.violations],
+            passes=list(diff.pipeline.accepted),
         )
 
 
@@ -703,5 +724,7 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
         elif (i + 1) % config.cluster_every == 0:
             run_cluster_case(case_seed, report, label, engine=config.engine)
         else:
-            run_pipeline_case(case_seed, config.engine, report, label)
+            run_pipeline_case(
+                case_seed, config.engine, report, label, passes=config.passes
+            )
     return report

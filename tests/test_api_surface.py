@@ -25,6 +25,7 @@ EXPECTED_SURFACE = {
     "fault_preset_names": "def() -> 'list[str]'",
     "register_fault_preset": "def(name: 'str') -> 'Callable'",
     "MODEL_PRESETS": "Registry",
+    "PASSES": "Registry",
     "ROUTERS": "Registry",
     "SCHEDULERS": "Registry",
     "Registry": "class",
@@ -36,7 +37,7 @@ EXPECTED_SURFACE = {
                       "gen_len, seed, skew, correlation, prefill_token_cap)",
     "ServeConfig": "dataclass(arrival, arrival_options, requests, rate_per_s, "
                    "hot_experts)",
-    "SystemConfig": "dataclass(name, options)",
+    "SystemConfig": "dataclass(name, options, passes)",
     "add_scenario_flags": "def(parser: 'argparse.ArgumentParser') -> 'None'",
     "add_set_flag": "def(parser: 'argparse.ArgumentParser') -> 'None'",
     "apply_overrides": "def(tree: 'dict', overrides: 'list[str]') -> 'dict'",
@@ -51,9 +52,11 @@ EXPECTED_SURFACE = {
     "is_scenario_cell": "def(params: 'dict') -> 'bool'",
     "model_preset_names": "def() -> 'list[str]'",
     "normalize_cell_params": "def(runner: 'str', params: 'dict') -> 'dict'",
+    "pass_names": "def() -> 'list[str]'",
     "register_arrivals": "def(name: 'str') -> 'Callable'",
     "register_hardware_preset": "def(name: 'str', spec) -> 'None'",
     "register_model_preset": "def(config) -> 'None'",
+    "register_pass": "def(name: 'str') -> 'Callable'",
     "register_router": "def(name: 'str') -> 'Callable'",
     "register_scheduler": "def(name: 'str') -> 'Callable'",
     "register_system": "def(name: 'str') -> 'Callable'",
@@ -90,6 +93,7 @@ EXPECTED_REGISTRY_NAMES = {
     "FAULT_PRESETS": [
         "chaos", "crashes", "flaky-network", "load-shed", "stragglers",
     ],
+    "PASSES": ["coalesce-transfers", "fill-bubbles", "retime-prefetch"],
 }
 
 

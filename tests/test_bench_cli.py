@@ -67,11 +67,15 @@ class TestBenchCLI:
         base = tmp_path / "base.json"
         out = tmp_path / "BENCH.json"
         assert main(
-            ["bench", "table2", "--skip-full-cell", "--out", str(base)]
+            [
+                "bench", "table2", "--skip-full-cell", "--skip-optimize-cell",
+                "--out", str(base),
+            ]
         ) == 0
         rc = main(
             [
-                "bench", "table2", "--skip-full-cell", "--out", str(out),
+                "bench", "table2", "--skip-full-cell", "--skip-optimize-cell",
+                "--out", str(out),
                 "--compare", str(base), "--tolerance", "1000",
             ]
         )

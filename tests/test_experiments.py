@@ -178,7 +178,7 @@ class TestRegistry:
         names = [e.name for e in all_experiments()]
         assert names == [
             "fig5", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-            "table1", "table2", "serving", "table3",
+            "table1", "table2", "serving", "optimize", "table3",
         ]
 
     def test_unknown_experiment_raises(self):
